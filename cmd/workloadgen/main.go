@@ -1,0 +1,131 @@
+// Command workloadgen inspects the synthetic workloads: per-cycle demand
+// curves, chunk-size distributions and the skew profile (what share of the
+// data lives in the hottest chunks) — the §3 statistics the generators are
+// calibrated against. Output is CSV for easy plotting.
+//
+// Usage:
+//
+//	workloadgen -workload ais -report demand
+//	workloadgen -workload modis -report skew -cycle 3
+//	workloadgen -workload ais -report chunks -cycle 0
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/workload"
+)
+
+func main() {
+	wl := flag.String("workload", "modis", "workload: modis or ais")
+	report := flag.String("report", "demand", "report: demand, skew, or chunks")
+	cycle := flag.Int("cycle", 0, "workload cycle for skew/chunks reports")
+	cycles := flag.Int("cycles", 0, "override the workload's cycle count (0 = default)")
+	seed := flag.Int64("seed", 0, "generator seed (0 = default)")
+	flag.Parse()
+
+	gen, err := build(*wl, *cycles, *seed)
+	if err != nil {
+		fail(err)
+	}
+	switch *report {
+	case "demand":
+		err = demand(gen)
+	case "skew":
+		err = skew(gen, *cycle)
+	case "chunks":
+		err = chunks(gen, *cycle)
+	default:
+		err = fmt.Errorf("unknown report %q (want demand, skew, or chunks)", *report)
+	}
+	if err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "workloadgen:", err)
+	os.Exit(1)
+}
+
+func build(name string, cycles int, seed int64) (workload.Generator, error) {
+	switch name {
+	case "modis":
+		return workload.NewMODIS(workload.MODISConfig{Cycles: cycles, Seed: seed})
+	case "ais":
+		return workload.NewAIS(workload.AISConfig{Cycles: cycles, Seed: seed})
+	default:
+		return nil, fmt.Errorf("unknown workload %q (want modis or ais)", name)
+	}
+}
+
+// demand prints the cumulative storage-demand curve (the provisioner's
+// process variable) and the per-cycle insert sizes.
+func demand(gen workload.Generator) error {
+	fmt.Println("cycle,insert_bytes,cumulative_bytes")
+	var total int64
+	for i := 0; i < gen.Cycles(); i++ {
+		batch, err := gen.Batch(i)
+		if err != nil {
+			return err
+		}
+		size := workload.BatchBytes(batch)
+		total += size
+		fmt.Printf("%d,%d,%d\n", i+1, size, total)
+	}
+	return nil
+}
+
+// skew prints the Lorenz-style profile of one cycle: share of data held by
+// the top X% of chunks, the statistic §3.2 quotes (85% in 5% for AIS).
+func skew(gen workload.Generator, cycle int) error {
+	sizes, err := chunkSizes(gen, cycle)
+	if err != nil {
+		return err
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(sizes)))
+	var total float64
+	for _, s := range sizes {
+		total += s
+	}
+	fmt.Println("top_chunk_pct,data_share_pct")
+	var acc float64
+	next := 1
+	for i, s := range sizes {
+		acc += s
+		pct := 100 * float64(i+1) / float64(len(sizes))
+		for next <= 100 && pct >= float64(next) {
+			fmt.Printf("%d,%.1f\n", next, 100*acc/total)
+			next += 1
+		}
+	}
+	return nil
+}
+
+// chunks prints every chunk of a cycle with its position and size.
+func chunks(gen workload.Generator, cycle int) error {
+	batch, err := gen.Batch(cycle)
+	if err != nil {
+		return err
+	}
+	fmt.Println("array,coords,cells,bytes")
+	for _, ch := range batch {
+		fmt.Printf("%s,%s,%d,%d\n", ch.Schema.Name, ch.Coords.Key(), ch.Len(), ch.SizeBytes())
+	}
+	return nil
+}
+
+func chunkSizes(gen workload.Generator, cycle int) ([]float64, error) {
+	batch, err := gen.Batch(cycle)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(batch))
+	for i, ch := range batch {
+		out[i] = float64(ch.SizeBytes())
+	}
+	return out, nil
+}

@@ -1,0 +1,147 @@
+// Package elastic is the public face of this repository: a from-scratch Go
+// reproduction of Duggan & Stonebraker, "Incremental Elasticity for Array
+// Databases" (SIGMOD 2014).
+//
+// The library implements an elastically growing shared-nothing array
+// database: SciDB-style n-dimensional chunked arrays, eight elastic data
+// placement schemes (Append, Consistent Hash, Extendible Hash, Hilbert
+// Curve, Incremental Quadtree, K-d Tree, Round Robin, Uniform Range), the
+// leading-staircase PD provisioner with its two workload tuners, the
+// paper's two benchmark workloads (MODIS remote sensing and AIS vessel
+// tracks), and a deterministic simulated-time cost substrate that stands in
+// for the paper's physical 8-node cluster.
+//
+// # Quick start
+//
+//	gen, _ := elastic.NewAIS(elastic.AISConfig{Cycles: 6})
+//	eng, _ := elastic.NewEngine(gen, elastic.Config{
+//	        PartitionerKind: elastic.KindKdTree,
+//	        InitialNodes:    2,
+//	        NodeCapacity:    8 << 20,
+//	        RunQueries:      true,
+//	})
+//	stats, _ := eng.Run()
+//	for _, s := range stats {
+//	        fmt.Printf("cycle %d: %d nodes, rsd %.0f%%\n", s.Cycle, s.NodesAfter, s.RSD*100)
+//	}
+//
+// The deeper layers are importable directly for finer control:
+// repro/internal/{array, partition, cluster, provision, workload, query,
+// experiments}. This package re-exports the types a typical user needs.
+package elastic
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/partition"
+	"repro/internal/provision"
+	"repro/internal/workload"
+)
+
+// Core engine types (the paper's contribution assembled).
+type (
+	// Engine drives a cyclic workload against an elastic cluster.
+	Engine = core.Engine
+	// Config assembles an elastic array database run.
+	Config = core.Config
+	// CycleStats records one workload cycle's three phases and the
+	// provisioning action (Equation 1's inputs).
+	CycleStats = core.CycleStats
+)
+
+// Cluster substrate types.
+type (
+	// Cluster is the shared-nothing array database.
+	Cluster = cluster.Cluster
+	// CostModel holds the simulated-time unit costs (δ, t, CPU).
+	CostModel = cluster.CostModel
+	// Duration is simulated elapsed time in seconds.
+	Duration = cluster.Duration
+)
+
+// Partitioning types.
+type (
+	// Partitioner is an elastic data-placement scheme.
+	Partitioner = partition.Partitioner
+	// PartitionerOptions tunes a scheme.
+	PartitionerOptions = partition.Options
+	// Geometry describes the chunk grid the spatial schemes divide.
+	Geometry = partition.Geometry
+	// Features is a scheme's Table 1 row.
+	Features = partition.Features
+	// NodeID identifies a cluster node.
+	NodeID = partition.NodeID
+)
+
+// Provisioning types.
+type (
+	// Controller is the leading staircase PD control loop.
+	Controller = provision.Controller
+	// CostParams feeds the analytical scale-out cost model (Eqs 5–9).
+	CostParams = provision.CostParams
+)
+
+// Workload types.
+type (
+	// Generator produces the chunk batches of a cyclic workload.
+	Generator = workload.Generator
+	// MODISConfig sizes the remote-sensing workload.
+	MODISConfig = workload.MODISConfig
+	// AISConfig sizes the ship-tracking workload.
+	AISConfig = workload.AISConfig
+)
+
+// Partitioner kinds accepted by Config.PartitionerKind, in the order the
+// paper's figures list the schemes.
+const (
+	KindAppend     = partition.KindAppend
+	KindConsistent = partition.KindConsistent
+	KindExtendible = partition.KindExtendible
+	KindHilbert    = partition.KindHilbert
+	KindQuadtree   = partition.KindQuadtree
+	KindKdTree     = partition.KindKdTree
+	KindRoundRobin = partition.KindRoundRobin
+	KindUniform    = partition.KindUniform
+)
+
+// NewEngine validates the configuration and assembles the elastic array
+// database over the generator's workload.
+func NewEngine(gen Generator, cfg Config) (*Engine, error) { return core.NewEngine(gen, cfg) }
+
+// NewMODIS builds the synthetic MODIS remote-sensing workload (§3.1).
+func NewMODIS(cfg MODISConfig) (*workload.MODIS, error) { return workload.NewMODIS(cfg) }
+
+// NewAIS builds the synthetic AIS vessel-track workload (§3.2).
+func NewAIS(cfg AISConfig) (*workload.AIS, error) { return workload.NewAIS(cfg) }
+
+// NewController builds a leading-staircase controller with sample count s,
+// planning horizon p and per-node capacity c (Eqs 2–4).
+func NewController(s, p int, nodeCapacity float64) (*Controller, error) {
+	return provision.NewController(s, p, nodeCapacity)
+}
+
+// TuneS fits the controller's sample count to an observed demand curve by
+// what-if analysis (Algorithm 1).
+func TuneS(history []float64, psi int) (int, []float64, error) {
+	return provision.TuneS(history, psi)
+}
+
+// TuneP scores candidate planning horizons with the analytical cost model
+// (Eqs 5–9) and returns the cheapest.
+func TuneP(params CostParams, candidates []int) (int, map[int]float64, error) {
+	return provision.TuneP(params, candidates)
+}
+
+// PartitionerKinds returns all scheme keys in figure order.
+func PartitionerKinds() []string { return partition.Kinds() }
+
+// DefaultCostModel mirrors a 2014-era cluster at full scale;
+// ScaledCostModel matches the scaled-down synthetic workloads (see
+// cluster.ByteScaleDown).
+func DefaultCostModel() CostModel { return cluster.DefaultCostModel() }
+
+// ScaledCostModel returns the cost model the experiments use.
+func ScaledCostModel() CostModel { return cluster.ScaledCostModel() }
+
+// TotalNodeSeconds sums Equation 1 over a run: Σ N_i (I_i + r_i + w_i).
+func TotalNodeSeconds(stats []CycleStats) float64 { return core.TotalNodeSeconds(stats) }

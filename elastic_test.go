@@ -1,0 +1,105 @@
+package elastic
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestFacadeEndToEnd exercises the public API exactly as the README's
+// quick start does.
+func TestFacadeEndToEnd(t *testing.T) {
+	gen, err := NewAIS(AISConfig{Cycles: 4, CellsPerCycle: 1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, total, err := workload.TotalBytes(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(gen, Config{
+		PartitionerKind: KindKdTree,
+		InitialNodes:    2,
+		NodeCapacity:    total/5 + 1,
+		Cost:            ScaledCostModel(),
+		RunQueries:      true,
+		MaxNodes:        8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 4 {
+		t.Fatalf("ran %d cycles, want 4", len(stats))
+	}
+	if eng.Cluster().NumNodes() < 4 {
+		t.Errorf("cluster should have grown, has %d nodes", eng.Cluster().NumNodes())
+	}
+	if TotalNodeSeconds(stats) <= 0 {
+		t.Error("Eq 1 cost must be positive")
+	}
+	if err := eng.Cluster().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeControllerAndTuners(t *testing.T) {
+	ctrl, err := NewController(2, 3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl.Observe(150)
+	if k := ctrl.Plan(1); k < 1 {
+		t.Errorf("over-capacity plan = %d", k)
+	}
+	hist := []float64{0, 100, 200, 300, 400, 500}
+	s, _, err := TuneS(hist, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s < 1 || s > 3 {
+		t.Errorf("tuned s = %d", s)
+	}
+	best, costs, err := TuneP(CostParams{
+		DeltaSecPerUnit: 1, TSecPerUnit: 2.5, NodeCapacity: 100,
+		Mu: 45, L0: 200, W0: 120, N0: 2, M: 12,
+		ReorgFixedSec: 600, CycleOverheadSec: 150,
+	}, []int{1, 3, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(costs) != 3 || best == 0 {
+		t.Errorf("TuneP returned best=%d costs=%v", best, costs)
+	}
+}
+
+func TestFacadeKindsAndModels(t *testing.T) {
+	kinds := PartitionerKinds()
+	if len(kinds) != 8 {
+		t.Fatalf("%d kinds, want 8", len(kinds))
+	}
+	for _, k := range []string{KindAppend, KindConsistent, KindExtendible, KindHilbert,
+		KindQuadtree, KindKdTree, KindRoundRobin, KindUniform} {
+		found := false
+		for _, kk := range kinds {
+			if kk == k {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("kind %q missing from PartitionerKinds", k)
+		}
+	}
+	if err := DefaultCostModel().Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := ScaledCostModel().Validate(); err != nil {
+		t.Error(err)
+	}
+	if ScaledCostModel().DeltaSecPerByte <= DefaultCostModel().DeltaSecPerByte {
+		t.Error("scaled model must be slower per byte")
+	}
+}

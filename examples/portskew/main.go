@@ -1,0 +1,69 @@
+// Portskew: contrast how a spatially clustered, skew-aware partitioner
+// (K-d Tree) and a scattering baseline (Round Robin) serve the heavily
+// port-skewed AIS workload — the Figure 7 story: the k-nearest-neighbour
+// query halves its latency when array space is preserved, even though the
+// baseline balances storage better.
+//
+//	go run ./examples/portskew
+package main
+
+import (
+	"fmt"
+	"log"
+
+	elastic "repro"
+	"repro/internal/workload"
+)
+
+func run(kind string) ([]elastic.CycleStats, error) {
+	gen, err := elastic.NewAIS(elastic.AISConfig{Cycles: 8, CellsPerCycle: 3500})
+	if err != nil {
+		return nil, err
+	}
+	_, total, err := workload.TotalBytes(gen)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := elastic.NewEngine(gen, elastic.Config{
+		PartitionerKind: kind,
+		InitialNodes:    2,
+		NodeCapacity:    total/7 + 1,
+		Cost:            elastic.ScaledCostModel(),
+		FixedStep:       2,
+		MaxNodes:        8,
+		RunQueries:      true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return eng.Run()
+}
+
+func main() {
+	kd, err := run(elastic.KindKdTree)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rr, err := run(elastic.KindRoundRobin)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("AIS k-nearest-neighbours latency per workload cycle (simulated minutes)")
+	fmt.Println("cycle   K-d Tree   Round Robin   KdTree RSD   RR RSD")
+	var kdSum, rrSum float64
+	for i := range kd {
+		kdKNN := kd[i].Suite.PerQuery["modeling"].Elapsed.Minutes()
+		rrKNN := rr[i].Suite.PerQuery["modeling"].Elapsed.Minutes()
+		kdSum += kdKNN
+		rrSum += rrKNN
+		fmt.Printf("%5d   %8.2f   %11.2f   %9.0f%%   %5.0f%%\n",
+			i+1, kdKNN, rrKNN, kd[i].RSD*100, rr[i].RSD*100)
+	}
+	fmt.Printf("\nmean kNN latency: K-d Tree %.2f min vs Round Robin %.2f min (%.0f%% faster)\n",
+		kdSum/float64(len(kd)), rrSum/float64(len(rr)), 100*(1-kdSum/rrSum))
+	fmt.Println("\nThe baseline balances chunks almost perfectly (low RSD), yet the")
+	fmt.Println("K-d Tree wins the spatial query: its chunks' neighbours live on the")
+	fmt.Println("same node, so the k-NN search rarely crosses the network —")
+	fmt.Println("multidimensional clustering trumps pure load balancing (§6.2.3).")
+}

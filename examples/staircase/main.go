@@ -1,0 +1,104 @@
+// Staircase: drive the leading-staircase provisioner (the paper's §5) over
+// the steadily growing MODIS workload, tuning its two parameters from the
+// observed demand curve — s by what-if analysis (Algorithm 1), p by the
+// analytical cost model (Eqs 5–9) — then render the staircase.
+//
+//	go run ./examples/staircase
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	elastic "repro"
+	"repro/internal/workload"
+)
+
+func main() {
+	gen, err := elastic.NewMODIS(elastic.MODISConfig{Cycles: 14, BaseCells: 18})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Size node capacity so demand crosses several staircase steps.
+	demand, total, err := workload.TotalBytes(gen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	capacity := total/7 + 1
+
+	// Tune s on the first third of the demand curve (Algorithm 1).
+	train := demand[:len(demand)/3+2]
+	s, errs, err := elastic.TuneS(train, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("what-if tuning over %d observed cycles: s=%d (errors per s: %v)\n",
+		len(train), s, fmtMB(errs))
+
+	// Tune p with the analytical cost model from the current state.
+	cost := elastic.ScaledCostModel()
+	mu := (train[len(train)-1] - train[0]) / float64(len(train)-1)
+	best, costs, err := elastic.TuneP(elastic.CostParams{
+		DeltaSecPerUnit:  cost.DeltaSecPerByte,
+		TSecPerUnit:      cost.TSecPerByte,
+		NodeCapacity:     float64(capacity),
+		Mu:               mu,
+		L0:               train[len(train)-1],
+		W0:               300, // last observed benchmark latency, seconds
+		N0:               2,
+		M:                10,
+		ReorgFixedSec:    cost.ReorgFixedSec,
+		CycleOverheadSec: 60,
+		FabricWidth:      cost.FabricWidth,
+	}, []int{1, 3, 6})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cost-model tuning: p=%d (node-hours per candidate:", best)
+	for _, p := range []int{1, 3, 6} {
+		fmt.Printf(" p%d=%.1f", p, costs[p]/3600)
+	}
+	fmt.Println(")")
+
+	// Run the tuned staircase.
+	ctrl, err := elastic.NewController(s, best, float64(capacity))
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := elastic.NewEngine(gen, elastic.Config{
+		PartitionerKind: elastic.KindConsistent,
+		InitialNodes:    2,
+		NodeCapacity:    capacity,
+		Cost:            cost,
+		Controller:      ctrl,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ncycle  demand(nodes)  provisioned")
+	stats, err := eng.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	reorgs := 0
+	for _, st := range stats {
+		bar := strings.Repeat("#", st.NodesAfter)
+		if st.Added > 0 {
+			reorgs++
+			bar += fmt.Sprintf("  <- scaled out +%d", st.Added)
+		}
+		fmt.Printf("%5d  %13.2f  %s\n", st.Cycle+1,
+			float64(st.DemandBytes)/float64(capacity), bar)
+	}
+	fmt.Printf("\n%d reorganizations; provisioned capacity always led demand.\n", reorgs)
+}
+
+func fmtMB(xs []float64) []string {
+	out := make([]string, len(xs))
+	for i, x := range xs {
+		out[i] = fmt.Sprintf("%.3fMB", x/(1<<20))
+	}
+	return out
+}

@@ -1,0 +1,394 @@
+// Package advisor prototypes the paper's future-work direction (Section
+// 8): "more tightly integrate workloads with data placement … and the
+// individual chunks that stand to benefit most directly from residing on
+// the same server."
+//
+// The advisor builds a co-access graph over the resident chunks — which
+// pairs the workload's queries touch together, and how many bytes cross
+// the network when the pair is split across nodes — and proposes a bounded
+// set of migrations that pull chunks toward the nodes holding their
+// partners, subject to a storage-balance guard. Applied after a hash
+// partitioner has scattered array space, it recovers much of the spatial
+// locality the n-D clustered schemes get by construction.
+package advisor
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/array"
+	"repro/internal/cluster"
+	"repro/internal/partition"
+)
+
+// Edge is one co-access relationship: queries that touch both chunks ship
+// approximately Weight bytes whenever the two live on different nodes.
+type Edge struct {
+	A, B   array.ChunkRef
+	Weight int64
+}
+
+// Graph is the co-access graph plus the placement snapshot it was built
+// from.
+type Graph struct {
+	Edges []Edge
+	// adj[key] lists the indexes into Edges incident to the chunk.
+	adj   map[string][]int
+	size  map[string]int64
+	owner map[string]partition.NodeID
+}
+
+// BuildGraph derives the co-access graph from the workload's structural
+// access patterns, mirroring the benchmark suite (Section 3.3):
+//
+//   - spatial neighbours within a time slab exchange halo cells (windowed
+//     aggregates, k-NN, collision projection): weight ≈ the smaller
+//     side's bytes scaled by a boundary fraction;
+//   - congruent arrays' chunks at equal positions join structurally
+//     (the vegetation index): weight ≈ the smaller side's bytes.
+//
+// Arrays are congruent when they share dimensionality; time is assumed to
+// be dimension 0 with space on dimensions 1+, as in both workloads.
+func BuildGraph(c *cluster.Cluster, arrays []string) (*Graph, error) {
+	g := &Graph{
+		adj:   make(map[string][]int),
+		size:  make(map[string]int64),
+		owner: make(map[string]partition.NodeID),
+	}
+	byCoord := make(map[string][]array.ChunkRef) // coordinate key -> refs across arrays
+	type chunkPos struct {
+		ref  array.ChunkRef
+		size int64
+	}
+	var all []chunkPos
+	for _, name := range arrays {
+		s, ok := c.Schema(name)
+		if !ok {
+			return nil, fmt.Errorf("advisor: array %q not defined", name)
+		}
+		_ = s
+		for _, id := range c.Nodes() {
+			node, _ := c.Node(id)
+			for _, ch := range node.Chunks() {
+				if ch.Schema.Name != name {
+					continue
+				}
+				ref := ch.Ref()
+				key := ref.Key()
+				g.size[key] = ch.SizeBytes()
+				g.owner[key] = id
+				all = append(all, chunkPos{ref: ref, size: ch.SizeBytes()})
+				byCoord[ref.Coords.Key()] = append(byCoord[ref.Coords.Key()], ref)
+			}
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].ref.Key() < all[j].ref.Key() })
+	// Halo edges between spatial neighbours in the same array and slab.
+	const boundaryFraction = 4 // halo ≈ 1/4 of the smaller chunk
+	index := make(map[string]int64)
+	for _, cp := range all {
+		index[cp.ref.Key()] = cp.size
+	}
+	seen := make(map[string]bool)
+	addEdge := func(a, b array.ChunkRef, w int64) {
+		if w <= 0 {
+			return
+		}
+		ka, kb := a.Key(), b.Key()
+		if kb < ka {
+			a, b = b, a
+			ka, kb = kb, ka
+		}
+		pair := ka + "|" + kb
+		if seen[pair] {
+			return
+		}
+		seen[pair] = true
+		g.Edges = append(g.Edges, Edge{A: a, B: b, Weight: w})
+		g.adj[ka] = append(g.adj[ka], len(g.Edges)-1)
+		g.adj[kb] = append(g.adj[kb], len(g.Edges)-1)
+	}
+	for _, cp := range all {
+		s, _ := c.Schema(cp.ref.Array)
+		for _, ncc := range spatialNeighbors(s, cp.ref.Coords) {
+			nref := array.ChunkRef{Array: cp.ref.Array, Coords: ncc}
+			nsize, ok := index[nref.Key()]
+			if !ok {
+				continue
+			}
+			w := cp.size
+			if nsize < w {
+				w = nsize
+			}
+			addEdge(cp.ref, nref, w/boundaryFraction)
+		}
+	}
+	// Structural-join edges between equal positions of different arrays.
+	for _, refs := range byCoord {
+		for i := 0; i < len(refs); i++ {
+			for j := i + 1; j < len(refs); j++ {
+				w := g.size[refs[i].Key()]
+				if b := g.size[refs[j].Key()]; b < w {
+					w = b
+				}
+				addEdge(refs[i], refs[j], w)
+			}
+		}
+	}
+	return g, nil
+}
+
+// spatialNeighbors lists same-slab neighbours (±1 on each non-time
+// dimension, diagonals included).
+func spatialNeighbors(s *array.Schema, cc array.ChunkCoord) []array.ChunkCoord {
+	if len(cc) < 2 {
+		return nil
+	}
+	var out []array.ChunkCoord
+	var walk func(dim int, cur array.ChunkCoord, moved bool)
+	walk = func(dim int, cur array.ChunkCoord, moved bool) {
+		if dim == len(cc) {
+			if moved && s.ValidChunk(cur) {
+				out = append(out, cur.Clone())
+			}
+			return
+		}
+		if dim == 0 { // time: growth axis, never offset
+			walk(dim+1, cur, moved)
+			return
+		}
+		for _, d := range [3]int64{-1, 0, 1} {
+			cur[dim] = cc[dim] + d
+			walk(dim+1, cur, moved || d != 0)
+		}
+		cur[dim] = cc[dim]
+	}
+	walk(0, cc.Clone(), false)
+	return out
+}
+
+// RemoteBytes sums the weights of edges whose endpoints live on different
+// nodes — the co-access traffic the current placement pays per benchmark
+// round.
+func (g *Graph) RemoteBytes() int64 {
+	var total int64
+	for _, e := range g.Edges {
+		if g.owner[e.A.Key()] != g.owner[e.B.Key()] {
+			total += e.Weight
+		}
+	}
+	return total
+}
+
+// Plan proposes up to maxMoves migrations that pull co-accessed chunks
+// onto shared nodes. Chunks sharing a grid position across arrays (the
+// structural-join twins) are treated as one atomic *unit* — a join never
+// gets split by the advisor — and the units are partitioned by greedy
+// region growing (in the spirit of METIS's GGGP): one region per node,
+// each grown from its heaviest unassigned seed by repeatedly absorbing the
+// frontier unit with the strongest connection to the region, until the
+// region reaches its storage share (slack × total/nodes).
+//
+// The diff against the current placement is emitted highest-gain first,
+// capped at maxMoves. The balance guarantee applies to the *full* plan; a
+// truncated prefix trades some balance for the biggest locality wins.
+func (g *Graph) Plan(c *cluster.Cluster, maxMoves int, slack float64) []partition.Move {
+	if maxMoves <= 0 {
+		return nil
+	}
+	if slack <= 1 {
+		slack = 1.25
+	}
+	nodes := c.Nodes()
+	if len(nodes) < 2 {
+		return nil
+	}
+	// Collapse chunks into position units.
+	unitOf := make(map[string]string, len(g.adj))
+	unitChunks := make(map[string][]string)
+	unitSize := make(map[string]int64)
+	chunkKeys := make([]string, 0, len(g.adj))
+	for k := range g.adj {
+		chunkKeys = append(chunkKeys, k)
+	}
+	sort.Strings(chunkKeys)
+	for _, k := range chunkKeys {
+		ref, err := array.ParseChunkRef(k)
+		if err != nil {
+			continue
+		}
+		u := ref.Coords.Key()
+		unitOf[k] = u
+		unitChunks[u] = append(unitChunks[u], k)
+		unitSize[u] += g.size[k]
+	}
+	units := make([]string, 0, len(unitChunks))
+	for u := range unitChunks {
+		units = append(units, u)
+	}
+	sort.Strings(units)
+	// Unit adjacency: summed inter-unit edge weights.
+	uAdj := make(map[string]map[string]int64)
+	for _, e := range g.Edges {
+		ua, ub := unitOf[e.A.Key()], unitOf[e.B.Key()]
+		if ua == ub {
+			continue // twin edge, internal to a unit
+		}
+		if uAdj[ua] == nil {
+			uAdj[ua] = make(map[string]int64)
+		}
+		if uAdj[ub] == nil {
+			uAdj[ub] = make(map[string]int64)
+		}
+		uAdj[ua][ub] += e.Weight
+		uAdj[ub][ua] += e.Weight
+	}
+	var total int64
+	for _, u := range units {
+		total += unitSize[u]
+	}
+	target := int64(float64(total) / float64(len(nodes)))
+	limit := int64(slack * float64(target))
+
+	uLabel := make(map[string]partition.NodeID, len(units))
+	load := make(map[partition.NodeID]int64)
+	assigned := make(map[string]bool, len(units))
+	attach := make(map[string]int64)
+
+	for _, n := range nodes {
+		// Seed: the heaviest unassigned unit (deterministic tie-break by
+		// key) — port positions and dense slabs anchor regions.
+		seed := ""
+		var seedSize int64 = -1
+		for _, u := range units {
+			if !assigned[u] && unitSize[u] > seedSize {
+				seed, seedSize = u, unitSize[u]
+			}
+		}
+		if seed == "" {
+			break
+		}
+		for k := range attach {
+			delete(attach, k)
+		}
+		grow := func(u string) {
+			assigned[u] = true
+			uLabel[u] = n
+			load[n] += unitSize[u]
+			delete(attach, u)
+			for other, w := range uAdj[u] {
+				if !assigned[other] {
+					attach[other] += w
+				}
+			}
+		}
+		grow(seed)
+		for load[n] < target {
+			best := ""
+			var bestW int64 = -1
+			for u, w := range attach {
+				if w > bestW || (w == bestW && (best == "" || u < best)) {
+					best, bestW = u, w
+				}
+			}
+			if best == "" {
+				break // region's component exhausted
+			}
+			if load[n]+unitSize[best] > limit {
+				delete(attach, best) // too big for this region; skip
+				continue
+			}
+			grow(best)
+		}
+	}
+	// Leftovers (disconnected or skipped): spread over the least-loaded
+	// nodes.
+	for _, u := range units {
+		if assigned[u] {
+			continue
+		}
+		var dest partition.NodeID = -1
+		for _, n := range nodes {
+			if dest < 0 || load[n] < load[dest] {
+				dest = n
+			}
+		}
+		uLabel[u] = dest
+		load[dest] += unitSize[u]
+		assigned[u] = true
+	}
+	label := make(map[string]partition.NodeID, len(chunkKeys))
+	for _, k := range chunkKeys {
+		label[k] = uLabel[unitOf[k]]
+	}
+	affinity := func(key string) map[partition.NodeID]int64 {
+		aff := make(map[partition.NodeID]int64)
+		for _, ei := range g.adj[key] {
+			e := g.Edges[ei]
+			other := e.B.Key()
+			if other == key {
+				other = e.A.Key()
+			}
+			aff[label[other]] += e.Weight
+		}
+		return aff
+	}
+	keys := chunkKeys
+	// Emit the diff, largest locality gain first, capped at maxMoves.
+	type cand struct {
+		key  string
+		gain int64
+	}
+	var cands []cand
+	for _, key := range keys {
+		if label[key] == g.owner[key] {
+			continue
+		}
+		aff := affinity(key)
+		cands = append(cands, cand{key: key, gain: aff[label[key]] - aff[g.owner[key]]})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].gain != cands[j].gain {
+			return cands[i].gain > cands[j].gain
+		}
+		return cands[i].key < cands[j].key
+	})
+	if len(cands) > maxMoves {
+		cands = cands[:maxMoves]
+	}
+	var moves []partition.Move
+	for _, cd := range cands {
+		ref, err := array.ParseChunkRef(cd.key)
+		if err != nil {
+			continue // internal keys always parse; defensive
+		}
+		moves = append(moves, partition.Move{
+			Ref:  ref,
+			From: g.owner[cd.key],
+			To:   label[cd.key],
+			Size: g.size[cd.key],
+		})
+	}
+	return moves
+}
+
+// Advise builds the graph, plans up to maxMoves migrations and applies
+// them, returning the plan, the migration's simulated duration, and the
+// co-access traffic before and after.
+func Advise(c *cluster.Cluster, arrays []string, maxMoves int, slack float64) ([]partition.Move, cluster.Duration, int64, int64, error) {
+	g, err := BuildGraph(c, arrays)
+	if err != nil {
+		return nil, 0, 0, 0, err
+	}
+	before := g.RemoteBytes()
+	moves := g.Plan(c, maxMoves, slack)
+	d, err := c.Migrate(moves)
+	if err != nil {
+		return nil, 0, 0, 0, err
+	}
+	after, err := BuildGraph(c, arrays)
+	if err != nil {
+		return nil, 0, 0, 0, err
+	}
+	return moves, d, before, after.RemoteBytes(), nil
+}

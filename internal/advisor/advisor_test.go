@@ -1,0 +1,228 @@
+package advisor
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/partition"
+	"repro/internal/query"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// buildScattered ingests a small MODIS workload under consistent hashing —
+// a placement with good balance and poor locality, the advisor's target.
+func buildScattered(t *testing.T) *cluster.Cluster {
+	t.Helper()
+	gen, err := workload.NewMODIS(workload.MODISConfig{Cycles: 3, BaseCells: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, total, err := workload.TotalBytes(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := cluster.New(cluster.Config{
+		InitialNodes: 6,
+		NodeCapacity: total,
+		Partitioner: func(initial []partition.NodeID) (partition.Partitioner, error) {
+			return partition.NewConsistentHash(initial, 64), nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range gen.Schemas() {
+		if err := c.DefineArray(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for cycle := 0; cycle < gen.Cycles(); cycle++ {
+		batch, err := gen.Batch(cycle)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Insert(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+func TestBuildGraphStructure(t *testing.T) {
+	c := buildScattered(t)
+	g, err := BuildGraph(c, []string{"Band1", "Band2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Edges) == 0 {
+		t.Fatal("graph should have edges")
+	}
+	for _, e := range g.Edges {
+		if e.Weight <= 0 {
+			t.Fatalf("edge %v-%v has non-positive weight", e.A, e.B)
+		}
+		if e.A.Key() == e.B.Key() {
+			t.Fatalf("self edge on %v", e.A)
+		}
+	}
+	// Structural-join edges must link the two bands at equal positions.
+	joinEdges := 0
+	for _, e := range g.Edges {
+		if e.A.Array != e.B.Array {
+			joinEdges++
+			if e.A.Coords.Key() != e.B.Coords.Key() {
+				t.Fatalf("cross-array edge at different positions: %v vs %v", e.A, e.B)
+			}
+		}
+	}
+	if joinEdges == 0 {
+		t.Error("expected structural join edges between the bands")
+	}
+	if _, err := BuildGraph(c, []string{"Nope"}); err == nil {
+		t.Error("unknown array should fail")
+	}
+}
+
+func TestAdviseReducesRemoteCoAccess(t *testing.T) {
+	c := buildScattered(t)
+	rsdBefore := c.RSD()
+	moves, d, before, after, err := Advise(c, []string{"Band1", "Band2"}, 1000, 1.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moves) == 0 {
+		t.Fatal("advisor should find beneficial moves on a scattered placement")
+	}
+	if d <= 0 {
+		t.Error("migration must take simulated time")
+	}
+	if after >= before {
+		t.Errorf("remote co-access should fall: before %d, after %d", before, after)
+	}
+	// The improvement should be substantial, not cosmetic.
+	if float64(after) > 0.5*float64(before) {
+		t.Errorf("advisor recovered only %.0f%% of locality", 100*(1-float64(after)/float64(before)))
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The balance guard keeps storage RSD bounded.
+	if c.RSD() > rsdBefore+0.5 {
+		t.Errorf("advisor destroyed balance: RSD %.2f -> %.2f", rsdBefore, c.RSD())
+	}
+}
+
+func TestAdviseImprovesSpatialQueries(t *testing.T) {
+	c := buildScattered(t)
+	windowBefore, err := query.WindowAggregate(c, "Band1", "radiance", 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joinBefore, err := query.JoinBands(c, "Band1", "Band2", "radiance", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, _, err := Advise(c, []string{"Band1", "Band2"}, 1000, 1.5); err != nil {
+		t.Fatal(err)
+	}
+	windowAfter, err := query.WindowAggregate(c, "Band1", "radiance", 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joinAfter, err := query.JoinBands(c, "Band1", "Band2", "radiance", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if windowAfter.BytesShuffled >= windowBefore.BytesShuffled {
+		t.Errorf("window halo shuffle should fall: %d -> %d", windowBefore.BytesShuffled, windowAfter.BytesShuffled)
+	}
+	if joinAfter.BytesShuffled > joinBefore.BytesShuffled {
+		t.Errorf("join shuffle should not rise: %d -> %d", joinBefore.BytesShuffled, joinAfter.BytesShuffled)
+	}
+	// Query answers are placement-independent.
+	if windowAfter.Cells != windowBefore.Cells || joinAfter.Cells != joinBefore.Cells {
+		t.Error("advisor must not change query results")
+	}
+	if windowAfter.Value != windowBefore.Value {
+		t.Error("window aggregate value changed after migration")
+	}
+}
+
+func TestPlanRespectsBalanceGuard(t *testing.T) {
+	c := buildScattered(t)
+	g, err := BuildGraph(c, []string{"Band1", "Band2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A tight slack forbids any load above 1.01× the mean: with many
+	// moves requested, the final placement must still respect it.
+	moves := g.Plan(c, 100000, 1.01)
+	load := map[partition.NodeID]int64{}
+	for _, id := range c.Nodes() {
+		load[id] = c.NodeLoad(id)
+	}
+	var loads []float64
+	for _, m := range moves {
+		load[m.From] -= m.Size
+		load[m.To] += m.Size
+	}
+	var mean float64
+	for _, id := range c.Nodes() {
+		loads = append(loads, float64(load[id]))
+		mean += float64(load[id])
+	}
+	mean /= float64(len(loads))
+	for _, l := range loads {
+		// Destinations were checked before each move; allow the size of
+		// one chunk of headroom above the limit.
+		if l > 1.01*mean*1.2 {
+			t.Errorf("load %v far above guarded limit (mean %v)", l, mean)
+		}
+	}
+	_ = stats.RSD(loads)
+}
+
+func TestPlanNoMovesWhenAlreadyLocal(t *testing.T) {
+	// A single-node cluster has no remote co-access; the advisor must
+	// propose nothing.
+	gen, err := workload.NewMODIS(workload.MODISConfig{Cycles: 2, BaseCells: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, total, err := workload.TotalBytes(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := cluster.New(cluster.Config{
+		InitialNodes: 1,
+		NodeCapacity: total + 1,
+		Partitioner: func(initial []partition.NodeID) (partition.Partitioner, error) {
+			return partition.NewConsistentHash(initial, 16), nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range gen.Schemas() {
+		if err := c.DefineArray(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for cycle := 0; cycle < gen.Cycles(); cycle++ {
+		batch, _ := gen.Batch(cycle)
+		if _, err := c.Insert(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	moves, _, before, _, err := Advise(c, []string{"Band1", "Band2"}, 10, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before != 0 {
+		t.Errorf("single node should have zero remote co-access, got %d", before)
+	}
+	if len(moves) != 0 {
+		t.Errorf("no moves expected, got %d", len(moves))
+	}
+}

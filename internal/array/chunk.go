@@ -1,0 +1,214 @@
+package array
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Chunk is an n-dimensional subarray: the unit of I/O, memory allocation and
+// — for the elasticity layer — placement and migration. A chunk stores only
+// its non-empty cells, columnar: one int64 column per dimension holding the
+// cell coordinates, and one vertical segment (Column) per attribute.
+//
+// Physical chunk size is therefore a function of occupancy, not of the
+// declared chunk volume, which is what makes storage skew (dense port
+// chunks, empty open-ocean chunks) visible to the partitioners.
+type Chunk struct {
+	Schema *Schema
+	Coords ChunkCoord
+
+	// DimCols[d][i] is the d-th coordinate of occupied cell i.
+	DimCols [][]int64
+	// AttrCols[a] is the vertical segment of attribute a.
+	AttrCols []Column
+}
+
+// NewChunk returns an empty chunk at the given grid position.
+func NewChunk(s *Schema, cc ChunkCoord) *Chunk {
+	if !s.ValidChunk(cc) {
+		panic(fmt.Sprintf("array: chunk coordinate %v outside %s grid", cc, s.Name))
+	}
+	c := &Chunk{Schema: s, Coords: cc.Clone()}
+	c.DimCols = make([][]int64, len(s.Dims))
+	c.AttrCols = make([]Column, len(s.Attrs))
+	for i, a := range s.Attrs {
+		c.AttrCols[i] = NewColumn(a.Type)
+	}
+	return c
+}
+
+// Ref returns the chunk's global identity.
+func (c *Chunk) Ref() ChunkRef { return ChunkRef{Array: c.Schema.Name, Coords: c.Coords} }
+
+// Len returns the number of occupied cells.
+func (c *Chunk) Len() int {
+	if len(c.DimCols) == 0 {
+		return 0
+	}
+	return len(c.DimCols[0])
+}
+
+// SizeBytes returns the physical footprint: coordinate columns plus every
+// vertical attribute segment.
+func (c *Chunk) SizeBytes() int64 {
+	var n int64
+	for range c.DimCols {
+		n += int64(c.Len()) * 8
+	}
+	for _, col := range c.AttrCols {
+		n += col.SizeBytes()
+	}
+	return n
+}
+
+// AttrSizeBytes returns the footprint of one vertical segment, the quantity
+// a column-projecting query actually reads.
+func (c *Chunk) AttrSizeBytes(attr int) int64 {
+	return c.AttrCols[attr].SizeBytes()
+}
+
+// ProjectedSizeBytes returns coordinate columns plus the named attribute
+// segments only — the bytes a query touching that attribute subset scans.
+func (c *Chunk) ProjectedSizeBytes(attrs []int) int64 {
+	n := int64(len(c.DimCols)) * int64(c.Len()) * 8
+	for _, a := range attrs {
+		n += c.AttrCols[a].SizeBytes()
+	}
+	return n
+}
+
+// Cell returns the coordinate of occupied cell i.
+func (c *Chunk) Cell(i int) Coord {
+	out := make(Coord, len(c.DimCols))
+	for d := range c.DimCols {
+		out[d] = c.DimCols[d][i]
+	}
+	return out
+}
+
+// AppendIntCell adds a cell whose attribute values are all integer-family.
+// Provided as a fast path for generators; mixed-type cells use AppendCell.
+func (c *Chunk) AppendIntCell(cell Coord, vals []int64) {
+	c.appendCoords(cell)
+	for a, col := range c.AttrCols {
+		col.(*IntColumn).Append(vals[a])
+	}
+}
+
+// CellValue is one attribute value of a cell being appended.
+type CellValue struct {
+	Int   int64
+	Float float64
+	Str   string
+}
+
+// AppendCell adds one occupied cell with the given per-attribute values.
+// The value field read from each CellValue follows the attribute's type.
+func (c *Chunk) AppendCell(cell Coord, vals []CellValue) {
+	if len(vals) != len(c.AttrCols) {
+		panic(fmt.Sprintf("array: AppendCell with %d values, schema %s has %d attrs", len(vals), c.Schema.Name, len(c.AttrCols)))
+	}
+	c.appendCoords(cell)
+	for a, col := range c.AttrCols {
+		switch col := col.(type) {
+		case *IntColumn:
+			col.Append(vals[a].Int)
+		case *FloatColumn:
+			col.Append(vals[a].Float)
+		case *StrColumn:
+			col.Append(vals[a].Str)
+		}
+	}
+}
+
+func (c *Chunk) appendCoords(cell Coord) {
+	if len(cell) != len(c.DimCols) {
+		panic(fmt.Sprintf("array: cell %v has %d dims, chunk has %d", cell, len(cell), len(c.DimCols)))
+	}
+	if c.Schema.ChunkOf(cell).Key() != c.Coords.Key() {
+		panic(fmt.Sprintf("array: cell %v belongs to chunk %v, not %v", cell, c.Schema.ChunkOf(cell), c.Coords))
+	}
+	for d := range c.DimCols {
+		c.DimCols[d] = append(c.DimCols[d], cell[d])
+	}
+}
+
+// Filter returns the row indexes of cells for which keep returns true.
+func (c *Chunk) Filter(keep func(cell Coord) bool) []int {
+	var rows []int
+	cell := make(Coord, len(c.DimCols))
+	for i := 0; i < c.Len(); i++ {
+		for d := range c.DimCols {
+			cell[d] = c.DimCols[d][i]
+		}
+		if keep(cell) {
+			rows = append(rows, i)
+		}
+	}
+	return rows
+}
+
+// Subset returns a new chunk holding only the given rows (used by selection
+// operators); the result shares no storage with the receiver.
+func (c *Chunk) Subset(rows []int) *Chunk {
+	out := NewChunk(c.Schema, c.Coords)
+	for d := range c.DimCols {
+		col := make([]int64, 0, len(rows))
+		for _, r := range rows {
+			col = append(col, c.DimCols[d][r])
+		}
+		out.DimCols[d] = col
+	}
+	for a := range c.AttrCols {
+		out.AttrCols[a] = c.AttrCols[a].Gather(rows)
+	}
+	return out
+}
+
+// Validate checks internal consistency: equal column lengths and every cell
+// inside this chunk's extent. It is used by tests and by the storage layer
+// after deserialisation.
+func (c *Chunk) Validate() error {
+	n := c.Len()
+	for d := range c.DimCols {
+		if len(c.DimCols[d]) != n {
+			return fmt.Errorf("array: chunk %s dim %d has %d values, want %d", c.Ref(), d, len(c.DimCols[d]), n)
+		}
+	}
+	for a, col := range c.AttrCols {
+		if col.Len() != n {
+			return fmt.Errorf("array: chunk %s attr %d has %d values, want %d", c.Ref(), a, col.Len(), n)
+		}
+	}
+	for i := 0; i < n; i++ {
+		cell := c.Cell(i)
+		if !c.Schema.ValidCell(cell) {
+			return fmt.Errorf("array: chunk %s cell %v outside schema range", c.Ref(), cell)
+		}
+		if got := c.Schema.ChunkOf(cell); got.Key() != c.Coords.Key() {
+			return fmt.Errorf("array: chunk %s holds cell %v that belongs to %v", c.Ref(), cell, got)
+		}
+	}
+	return nil
+}
+
+// ChunkInfo is the placement-relevant metadata of a chunk: identity,
+// grid position and physical size. Partitioners see ChunkInfo, never
+// payloads.
+type ChunkInfo struct {
+	Ref  ChunkRef
+	Size int64
+}
+
+// SortChunkInfos orders infos by array name then chunk coordinate, the
+// canonical deterministic order used everywhere placement decisions iterate
+// over chunk sets.
+func SortChunkInfos(infos []ChunkInfo) {
+	sort.Slice(infos, func(i, j int) bool {
+		a, b := infos[i].Ref, infos[j].Ref
+		if a.Array != b.Array {
+			return a.Array < b.Array
+		}
+		return a.Coords.Less(b.Coords)
+	})
+}

@@ -1,0 +1,173 @@
+package array
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Chunk wire format (little endian):
+//
+//	u32 magic "ACNK"
+//	u16 version
+//	u16 nDims, u16 nAttrs, u32 nCells
+//	nDims × i64  chunk coordinate
+//	nDims × (nCells × i64) dimension columns
+//	per attribute: u8 type tag, then nCells values
+//	  int family: i64 each; float family: f64 bits; string: u16 len + bytes
+//
+// The codec exists so migrations between nodes move real serialized bytes —
+// the quantity the elasticity cost model charges for — and so chunk stores
+// can round-trip payloads.
+
+const (
+	chunkMagic   = 0x41434e4b // "ACNK"
+	chunkVersion = 1
+)
+
+// EncodeChunk serialises a chunk payload (schema identity travels out of
+// band via the ChunkRef, which carries the array name).
+func EncodeChunk(c *Chunk) ([]byte, error) {
+	var b bytes.Buffer
+	w := func(v interface{}) {
+		_ = binary.Write(&b, binary.LittleEndian, v)
+	}
+	w(uint32(chunkMagic))
+	w(uint16(chunkVersion))
+	w(uint16(len(c.DimCols)))
+	w(uint16(len(c.AttrCols)))
+	w(uint32(c.Len()))
+	for _, v := range c.Coords {
+		w(v)
+	}
+	for _, col := range c.DimCols {
+		for _, v := range col {
+			w(v)
+		}
+	}
+	for _, col := range c.AttrCols {
+		w(uint8(col.Type()))
+		switch col := col.(type) {
+		case *IntColumn:
+			for _, v := range col.Vals {
+				w(v)
+			}
+		case *FloatColumn:
+			for _, v := range col.Vals {
+				w(v)
+			}
+		case *StrColumn:
+			for _, v := range col.Vals {
+				if len(v) > 0xffff {
+					return nil, fmt.Errorf("array: string value too long (%d bytes)", len(v))
+				}
+				w(uint16(len(v)))
+				b.WriteString(v)
+			}
+		default:
+			return nil, fmt.Errorf("array: cannot encode column type %T", col)
+		}
+	}
+	return b.Bytes(), nil
+}
+
+// DecodeChunk reverses EncodeChunk. The schema must match the one the chunk
+// was encoded under (same dims and attribute types).
+func DecodeChunk(s *Schema, data []byte) (*Chunk, error) {
+	r := bytes.NewReader(data)
+	rd := func(v interface{}) error {
+		return binary.Read(r, binary.LittleEndian, v)
+	}
+	var magic uint32
+	var version, nDims, nAttrs uint16
+	var nCells uint32
+	if err := rd(&magic); err != nil || magic != chunkMagic {
+		return nil, fmt.Errorf("array: bad chunk magic")
+	}
+	if err := rd(&version); err != nil || version != chunkVersion {
+		return nil, fmt.Errorf("array: unsupported chunk version %d", version)
+	}
+	if err := rd(&nDims); err != nil {
+		return nil, err
+	}
+	if err := rd(&nAttrs); err != nil {
+		return nil, err
+	}
+	if err := rd(&nCells); err != nil {
+		return nil, err
+	}
+	if int(nDims) != len(s.Dims) || int(nAttrs) != len(s.Attrs) {
+		return nil, fmt.Errorf("array: chunk encoded with %d dims/%d attrs, schema %s has %d/%d",
+			nDims, nAttrs, s.Name, len(s.Dims), len(s.Attrs))
+	}
+	cc := make(ChunkCoord, nDims)
+	for i := range cc {
+		if err := rd(&cc[i]); err != nil {
+			return nil, err
+		}
+	}
+	if !s.ValidChunk(cc) {
+		return nil, fmt.Errorf("array: decoded chunk coordinate %v outside %s grid", cc, s.Name)
+	}
+	c := NewChunk(s, cc)
+	for d := 0; d < int(nDims); d++ {
+		col := make([]int64, nCells)
+		for i := range col {
+			if err := rd(&col[i]); err != nil {
+				return nil, err
+			}
+		}
+		c.DimCols[d] = col
+	}
+	for a := 0; a < int(nAttrs); a++ {
+		var tag uint8
+		if err := rd(&tag); err != nil {
+			return nil, err
+		}
+		t := DataType(tag)
+		if t != s.Attrs[a].Type {
+			return nil, fmt.Errorf("array: chunk attr %d encoded as %v, schema says %v", a, t, s.Attrs[a].Type)
+		}
+		switch col := c.AttrCols[a].(type) {
+		case *IntColumn:
+			col.Vals = make([]int64, nCells)
+			for i := range col.Vals {
+				if err := rd(&col.Vals[i]); err != nil {
+					return nil, err
+				}
+			}
+		case *FloatColumn:
+			col.Vals = make([]float64, nCells)
+			for i := range col.Vals {
+				if err := rd(&col.Vals[i]); err != nil {
+					return nil, err
+				}
+			}
+		case *StrColumn:
+			col.Vals = make([]string, nCells)
+			buf := make([]byte, 0, 64)
+			for i := range col.Vals {
+				var n uint16
+				if err := rd(&n); err != nil {
+					return nil, err
+				}
+				if cap(buf) < int(n) {
+					buf = make([]byte, n)
+				}
+				buf = buf[:n]
+				if _, err := io.ReadFull(r, buf); err != nil {
+					return nil, err
+				}
+				col.Vals[i] = string(buf)
+			}
+		}
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("array: %d trailing bytes after chunk", r.Len())
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

@@ -1,0 +1,185 @@
+package array
+
+import "fmt"
+
+// Column is one vertical segment of a chunk: all the values of a single
+// attribute for the chunk's non-empty cells, in cell order. Columns are the
+// unit the paper's vertical partitioning (Section 2) accounts separately on
+// disk.
+type Column interface {
+	// Type returns the scalar type stored in the column.
+	Type() DataType
+	// Len returns the number of values (== number of occupied cells).
+	Len() int
+	// SizeBytes returns the on-disk footprint of the segment.
+	SizeBytes() int64
+	// Float64 returns value i widened to float64. It panics for
+	// non-numeric columns.
+	Float64(i int) float64
+	// Str returns value i rendered as a string. Defined for all types.
+	Str(i int) string
+	// Gather returns a new column holding the values at the given row
+	// indexes, in order.
+	Gather(rows []int) Column
+	// AppendFrom appends value i of src (which must have the same
+	// concrete type) to the column.
+	AppendFrom(src Column, i int)
+}
+
+// IntColumn stores integer-family attributes (int32, int64, bool, char)
+// widened to int64, remembering the declared type for size accounting.
+type IntColumn struct {
+	T    DataType
+	Vals []int64
+}
+
+// NewIntColumn returns an empty integer column of the given declared type.
+func NewIntColumn(t DataType) *IntColumn { return &IntColumn{T: t} }
+
+// Type implements Column.
+func (c *IntColumn) Type() DataType { return c.T }
+
+// Len implements Column.
+func (c *IntColumn) Len() int { return len(c.Vals) }
+
+// SizeBytes implements Column.
+func (c *IntColumn) SizeBytes() int64 { return int64(len(c.Vals)) * c.T.Size() }
+
+// Float64 implements Column.
+func (c *IntColumn) Float64(i int) float64 { return float64(c.Vals[i]) }
+
+// Str implements Column.
+func (c *IntColumn) Str(i int) string { return fmt.Sprintf("%d", c.Vals[i]) }
+
+// Append adds a value to the column.
+func (c *IntColumn) Append(v int64) { c.Vals = append(c.Vals, v) }
+
+// Gather implements Column.
+func (c *IntColumn) Gather(rows []int) Column {
+	out := &IntColumn{T: c.T, Vals: make([]int64, 0, len(rows))}
+	for _, r := range rows {
+		out.Vals = append(out.Vals, c.Vals[r])
+	}
+	return out
+}
+
+// AppendFrom implements Column.
+func (c *IntColumn) AppendFrom(src Column, i int) {
+	s, ok := src.(*IntColumn)
+	if !ok {
+		panic(fmt.Sprintf("array: AppendFrom %T into *IntColumn", src))
+	}
+	c.Vals = append(c.Vals, s.Vals[i])
+}
+
+// FloatColumn stores float-family attributes (float32, float64) widened to
+// float64, remembering the declared type for size accounting.
+type FloatColumn struct {
+	T    DataType
+	Vals []float64
+}
+
+// NewFloatColumn returns an empty float column of the given declared type.
+func NewFloatColumn(t DataType) *FloatColumn { return &FloatColumn{T: t} }
+
+// Type implements Column.
+func (c *FloatColumn) Type() DataType { return c.T }
+
+// Len implements Column.
+func (c *FloatColumn) Len() int { return len(c.Vals) }
+
+// SizeBytes implements Column.
+func (c *FloatColumn) SizeBytes() int64 { return int64(len(c.Vals)) * c.T.Size() }
+
+// Float64 implements Column.
+func (c *FloatColumn) Float64(i int) float64 { return c.Vals[i] }
+
+// Str implements Column.
+func (c *FloatColumn) Str(i int) string { return fmt.Sprintf("%g", c.Vals[i]) }
+
+// Append adds a value to the column.
+func (c *FloatColumn) Append(v float64) { c.Vals = append(c.Vals, v) }
+
+// Gather implements Column.
+func (c *FloatColumn) Gather(rows []int) Column {
+	out := &FloatColumn{T: c.T, Vals: make([]float64, 0, len(rows))}
+	for _, r := range rows {
+		out.Vals = append(out.Vals, c.Vals[r])
+	}
+	return out
+}
+
+// AppendFrom implements Column.
+func (c *FloatColumn) AppendFrom(src Column, i int) {
+	s, ok := src.(*FloatColumn)
+	if !ok {
+		panic(fmt.Sprintf("array: AppendFrom %T into *FloatColumn", src))
+	}
+	c.Vals = append(c.Vals, s.Vals[i])
+}
+
+// StrColumn stores string attributes.
+type StrColumn struct {
+	Vals []string
+}
+
+// NewStrColumn returns an empty string column.
+func NewStrColumn() *StrColumn { return &StrColumn{} }
+
+// Type implements Column.
+func (c *StrColumn) Type() DataType { return String }
+
+// Len implements Column.
+func (c *StrColumn) Len() int { return len(c.Vals) }
+
+// SizeBytes implements Column.
+func (c *StrColumn) SizeBytes() int64 {
+	n := int64(len(c.Vals)) * String.Size()
+	for _, v := range c.Vals {
+		n += int64(len(v))
+	}
+	return n
+}
+
+// Float64 implements Column; string columns are not numeric.
+func (c *StrColumn) Float64(i int) float64 {
+	panic("array: Float64 on string column")
+}
+
+// Str implements Column.
+func (c *StrColumn) Str(i int) string { return c.Vals[i] }
+
+// Append adds a value to the column.
+func (c *StrColumn) Append(v string) { c.Vals = append(c.Vals, v) }
+
+// Gather implements Column.
+func (c *StrColumn) Gather(rows []int) Column {
+	out := &StrColumn{Vals: make([]string, 0, len(rows))}
+	for _, r := range rows {
+		out.Vals = append(out.Vals, c.Vals[r])
+	}
+	return out
+}
+
+// AppendFrom implements Column.
+func (c *StrColumn) AppendFrom(src Column, i int) {
+	s, ok := src.(*StrColumn)
+	if !ok {
+		panic(fmt.Sprintf("array: AppendFrom %T into *StrColumn", src))
+	}
+	c.Vals = append(c.Vals, s.Vals[i])
+}
+
+// NewColumn returns an empty column of the appropriate concrete type for t.
+func NewColumn(t DataType) Column {
+	switch t {
+	case Int32, Int64, Bool, Char:
+		return NewIntColumn(t)
+	case Float32, Float64:
+		return NewFloatColumn(t)
+	case String:
+		return NewStrColumn()
+	default:
+		panic(fmt.Sprintf("array: NewColumn of unknown type %v", t))
+	}
+}

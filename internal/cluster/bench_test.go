@@ -1,0 +1,72 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/array"
+	"repro/internal/partition"
+)
+
+func BenchmarkInsertBatch(b *testing.B) {
+	chunks := makeBenchChunks(b, 60, 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		c := newBenchCluster(b, 4)
+		b.StartTimer()
+		if _, err := c.Insert(chunks); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScaleOut(b *testing.B) {
+	chunks := makeBenchChunks(b, 120, 20)
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		c := newBenchCluster(b, 2)
+		if _, err := c.Insert(chunks); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := c.ScaleOut(2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkValidate(b *testing.B) {
+	c := newBenchCluster(b, 4)
+	if _, err := c.Insert(makeBenchChunks(b, 120, 20)); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Validate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func newBenchCluster(b *testing.B, nodes int) *Cluster {
+	b.Helper()
+	c, err := New(Config{
+		InitialNodes: nodes,
+		NodeCapacity: 64 << 20,
+		Partitioner: func(initial []partition.NodeID) (partition.Partitioner, error) {
+			return partition.NewKdTree(initial, partition.Geometry{Extents: []int64{16, 16}}, false)
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := c.DefineArray(testSchema()); err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+func makeBenchChunks(b *testing.B, n, cells int) []*array.Chunk {
+	b.Helper()
+	return makeChunks(b, n, cells, 99)
+}

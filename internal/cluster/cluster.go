@@ -1,0 +1,460 @@
+package cluster
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/array"
+	"repro/internal/partition"
+	"repro/internal/stats"
+)
+
+// PartitionerFactory builds the cluster's placement scheme once the initial
+// node IDs exist (the scheme's table is seeded from them).
+type PartitionerFactory func(initial []partition.NodeID) (partition.Partitioner, error)
+
+// Cluster is the elastic shared-nothing array database: a coordinator, a
+// growing set of nodes, a partitioner, and the authoritative chunk catalog.
+// It implements partition.State so the partitioner can consult placement.
+//
+// Scale-out is monotonic — the paper's databases never coalesce nodes —
+// and data mutation is insert-only per the no-overwrite storage model.
+type Cluster struct {
+	cost    CostModel
+	part    partition.Partitioner
+	nodes   map[partition.NodeID]*Node
+	order   []partition.NodeID // ascending
+	owner   map[string]partition.NodeID
+	schemas map[string]*array.Schema
+	nextID  partition.NodeID
+
+	nodeCapacity int64
+	storageDir   string
+	// insertedSeq preserves global insert order for audit.
+	inserted int64
+}
+
+// newStore builds the chunk store for a node per the cluster's storage
+// configuration.
+func (c *Cluster) newStore(id partition.NodeID) (ChunkStore, error) {
+	if c.storageDir == "" {
+		return NewMemStore(), nil
+	}
+	return NewDiskStore(
+		filepath.Join(c.storageDir, fmt.Sprintf("node-%d", id)),
+		func(name string) (*array.Schema, bool) { return c.Schema(name) },
+	)
+}
+
+// Config assembles a cluster.
+type Config struct {
+	// InitialNodes is the starting node count (the paper's experiments
+	// begin with 2).
+	InitialNodes int
+	// NodeCapacity is the per-node storage capacity in bytes (the
+	// paper's 100 GB, scaled).
+	NodeCapacity int64
+	// Cost is the simulated-time model; zero value selects
+	// DefaultCostModel.
+	Cost CostModel
+	// Partitioner builds the placement scheme over the initial nodes.
+	Partitioner PartitionerFactory
+	// StorageDir, when non-empty, gives every node a write-through
+	// DiskStore under StorageDir/node-<id>, so chunk payloads survive
+	// the process (re-index with OpenDiskStore).
+	StorageDir string
+}
+
+// New assembles and validates a cluster.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.InitialNodes < 1 {
+		return nil, fmt.Errorf("cluster: need at least one initial node, got %d", cfg.InitialNodes)
+	}
+	if cfg.NodeCapacity <= 0 {
+		return nil, fmt.Errorf("cluster: node capacity must be positive, got %d", cfg.NodeCapacity)
+	}
+	if cfg.Partitioner == nil {
+		return nil, fmt.Errorf("cluster: partitioner factory is required")
+	}
+	cost := cfg.Cost
+	if cost == (CostModel{}) {
+		cost = DefaultCostModel()
+	}
+	if err := cost.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		cost:         cost,
+		nodes:        make(map[partition.NodeID]*Node),
+		owner:        make(map[string]partition.NodeID),
+		schemas:      make(map[string]*array.Schema),
+		nodeCapacity: cfg.NodeCapacity,
+		storageDir:   cfg.StorageDir,
+	}
+	var initial []partition.NodeID
+	for i := 0; i < cfg.InitialNodes; i++ {
+		id := c.nextID
+		c.nextID++
+		store, err := c.newStore(id)
+		if err != nil {
+			return nil, err
+		}
+		c.nodes[id] = newNode(id, cfg.NodeCapacity, store)
+		c.order = append(c.order, id)
+		initial = append(initial, id)
+	}
+	p, err := cfg.Partitioner(initial)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: building partitioner: %w", err)
+	}
+	c.part = p
+	return c, nil
+}
+
+// --- partition.State implementation -------------------------------------
+
+// Nodes implements partition.State.
+func (c *Cluster) Nodes() []partition.NodeID {
+	return append([]partition.NodeID(nil), c.order...)
+}
+
+// NodeLoad implements partition.State.
+func (c *Cluster) NodeLoad(n partition.NodeID) int64 {
+	node, ok := c.nodes[n]
+	if !ok {
+		return 0
+	}
+	return node.Bytes()
+}
+
+// NodeChunks implements partition.State.
+func (c *Cluster) NodeChunks(n partition.NodeID) []array.ChunkInfo {
+	node, ok := c.nodes[n]
+	if !ok {
+		return nil
+	}
+	return node.ChunkInfos()
+}
+
+// Owner implements partition.State.
+func (c *Cluster) Owner(ref array.ChunkRef) (partition.NodeID, bool) {
+	n, ok := c.owner[ref.Key()]
+	return n, ok
+}
+
+// --- administration ------------------------------------------------------
+
+// Partitioner returns the placement scheme in use.
+func (c *Cluster) Partitioner() partition.Partitioner { return c.part }
+
+// Cost returns the simulated-time model.
+func (c *Cluster) Cost() CostModel { return c.cost }
+
+// NumNodes returns the current node count.
+func (c *Cluster) NumNodes() int { return len(c.order) }
+
+// NodeCapacity returns the per-node capacity in bytes.
+func (c *Cluster) NodeCapacity() int64 { return c.nodeCapacity }
+
+// Capacity returns the total cluster capacity in bytes.
+func (c *Cluster) Capacity() int64 { return int64(len(c.order)) * c.nodeCapacity }
+
+// TotalBytes returns the partitioned bytes stored across all nodes.
+func (c *Cluster) TotalBytes() int64 {
+	var total int64
+	for _, n := range c.nodes {
+		total += n.Bytes()
+	}
+	return total
+}
+
+// NumChunks returns the number of partitioned chunks in the catalog.
+func (c *Cluster) NumChunks() int { return len(c.owner) }
+
+// Node returns a node by ID, for inspection by queries and tests.
+func (c *Cluster) Node(id partition.NodeID) (*Node, bool) {
+	n, ok := c.nodes[id]
+	return n, ok
+}
+
+// Coordinator returns the node acting as coordinator (the lowest ID, which
+// always exists). Inserts enter the system through it.
+func (c *Cluster) Coordinator() partition.NodeID { return c.order[0] }
+
+// DefineArray registers a schema. Inserting chunks of an undefined array
+// is an error.
+func (c *Cluster) DefineArray(s *array.Schema) error {
+	if _, dup := c.schemas[s.Name]; dup {
+		return fmt.Errorf("cluster: array %s already defined", s.Name)
+	}
+	c.schemas[s.Name] = s
+	return nil
+}
+
+// Schema returns a registered schema.
+func (c *Cluster) Schema(name string) (*array.Schema, bool) {
+	s, ok := c.schemas[name]
+	return s, ok
+}
+
+// Loads returns the per-node partitioned bytes in node order.
+func (c *Cluster) Loads() []float64 {
+	out := make([]float64, 0, len(c.order))
+	for _, id := range c.order {
+		out = append(out, float64(c.nodes[id].Bytes()))
+	}
+	return out
+}
+
+// RSD returns the relative standard deviation of per-node storage — the
+// paper's load-balance metric.
+func (c *Cluster) RSD() float64 { return stats.RSD(c.Loads()) }
+
+// --- ingest ---------------------------------------------------------------
+
+// Insert routes a batch of new chunks through the coordinator to their
+// partitioner-assigned homes, following the paper's cost shape (Eq 6): the
+// coordinator writes its local share at disk rate δ and ships the rest over
+// the network at rate t. Chunks are processed in canonical order so
+// placement is deterministic. Inserting a chunk that already exists is an
+// error (no-overwrite storage).
+func (c *Cluster) Insert(chunks []*array.Chunk) (Duration, error) {
+	ordered := append([]*array.Chunk(nil), chunks...)
+	sort.Slice(ordered, func(i, j int) bool {
+		return ordered[i].Ref().Key() < ordered[j].Ref().Key()
+	})
+	coord := c.Coordinator()
+	var localBytes, remoteBytes int64
+	for _, ch := range ordered {
+		if _, ok := c.schemas[ch.Schema.Name]; !ok {
+			return 0, fmt.Errorf("cluster: insert into undefined array %s", ch.Schema.Name)
+		}
+		key := ch.Ref().Key()
+		if _, dup := c.owner[key]; dup {
+			return 0, fmt.Errorf("cluster: chunk %s already stored (no-overwrite model)", key)
+		}
+		info := array.ChunkInfo{Ref: ch.Ref(), Size: ch.SizeBytes()}
+		dest := c.part.Place(info, c)
+		node, ok := c.nodes[dest]
+		if !ok {
+			return 0, fmt.Errorf("cluster: partitioner placed %s on unknown node %d", key, dest)
+		}
+		if err := node.put(ch); err != nil {
+			return 0, err
+		}
+		c.owner[key] = dest
+		c.inserted++
+		if dest == coord {
+			localBytes += ch.SizeBytes()
+		} else {
+			remoteBytes += ch.SizeBytes()
+		}
+	}
+	return c.cost.DiskTime(localBytes) + c.cost.NetTime(remoteBytes), nil
+}
+
+// ReplicateArray stores the given chunks on every node (the AIS vessel
+// array pattern: small dimension tables replicated for local joins). The
+// charge is one network broadcast of the payload to each non-coordinator
+// node.
+func (c *Cluster) ReplicateArray(s *array.Schema, chunks []*array.Chunk) (Duration, error) {
+	if _, ok := c.schemas[s.Name]; !ok {
+		if err := c.DefineArray(s); err != nil {
+			return 0, err
+		}
+	}
+	var bytes int64
+	for _, ch := range chunks {
+		bytes += ch.SizeBytes()
+		for _, id := range c.order {
+			c.nodes[id].putReplica(ch)
+		}
+	}
+	return c.cost.NetTime(bytes * int64(len(c.order)-1)), nil
+}
+
+// --- scale-out -------------------------------------------------------------
+
+// ScaleOutResult reports what a cluster expansion did.
+type ScaleOutResult struct {
+	Added      []partition.NodeID
+	Moves      int
+	MovedBytes int64
+	Reorg      Duration
+}
+
+// ScaleOut provisions k new nodes, lets the partitioner revise its table,
+// and executes the returned migration plan. Chunk payloads are serialized,
+// shipped and decoded for real — the codec round-trip stands in for the
+// wire — and the reorganization charge is the total shipped bytes at
+// network rate t, the same quantity the paper's Eq 7 models. Replicated
+// arrays are copied to the new nodes as part of the expansion.
+func (c *Cluster) ScaleOut(k int) (ScaleOutResult, error) {
+	if k < 1 {
+		return ScaleOutResult{}, fmt.Errorf("cluster: ScaleOut(%d): need k >= 1", k)
+	}
+	var added []partition.NodeID
+	for i := 0; i < k; i++ {
+		id := c.nextID
+		c.nextID++
+		store, err := c.newStore(id)
+		if err != nil {
+			return ScaleOutResult{}, err
+		}
+		c.nodes[id] = newNode(id, c.nodeCapacity, store)
+		added = append(added, id)
+	}
+	moves, err := c.part.AddNodes(added, c)
+	if err != nil {
+		// Roll back the node additions; the cluster is unchanged.
+		for _, id := range added {
+			delete(c.nodes, id)
+			c.nextID--
+		}
+		return ScaleOutResult{}, fmt.Errorf("cluster: partitioner rejected scale-out: %w", err)
+	}
+	c.order = append(c.order, added...)
+	res := ScaleOutResult{Added: added}
+	recv := make(map[partition.NodeID]int64)
+	for _, m := range moves {
+		if err := c.executeMove(m); err != nil {
+			return res, err
+		}
+		res.Moves++
+		res.MovedBytes += m.Size
+		recv[m.To] += m.Size
+	}
+	// Replicated arrays must exist on the new nodes too.
+	var repBytes int64
+	if len(c.order) > 0 {
+		src := c.nodes[c.order[0]]
+		for _, rep := range src.Replicas() {
+			for _, id := range added {
+				c.nodes[id].putReplica(rep)
+				recv[id] += rep.SizeBytes()
+			}
+			repBytes += rep.SizeBytes() * int64(len(added))
+		}
+	}
+	// Receivers pull in parallel up to the fabric width: the wall-clock
+	// transfer is the larger of the busiest receiver's volume and the
+	// fabric-capped aggregate.
+	var maxRecv int64
+	for _, b := range recv {
+		if b > maxRecv {
+			maxRecv = b
+		}
+	}
+	wire := (res.MovedBytes + repBytes) / int64(c.cost.FabricWidth)
+	if maxRecv > wire {
+		wire = maxRecv
+	}
+	res.Reorg = c.cost.NetTime(wire) + Duration(c.cost.ReorgFixedSec)
+	return res, nil
+}
+
+// Migrate executes an externally planned set of chunk relocations — the
+// entry point for online placement optimisers such as the co-access
+// advisor (the paper's §8 future work). Unlike ScaleOut it adds no nodes;
+// the charge is the receiver-parallel transfer of the moved bytes.
+func (c *Cluster) Migrate(moves []partition.Move) (Duration, error) {
+	recv := make(map[partition.NodeID]int64)
+	var total int64
+	for _, m := range moves {
+		if err := c.executeMove(m); err != nil {
+			return 0, err
+		}
+		total += m.Size
+		recv[m.To] += m.Size
+	}
+	if total == 0 {
+		return 0, nil
+	}
+	var maxRecv int64
+	for _, b := range recv {
+		if b > maxRecv {
+			maxRecv = b
+		}
+	}
+	wire := total / int64(c.cost.FabricWidth)
+	if maxRecv > wire {
+		wire = maxRecv
+	}
+	return c.cost.NetTime(wire), nil
+}
+
+// executeMove ships one chunk: encode at the source, decode at the
+// destination, update the catalog. The round-trip through the codec keeps
+// the simulation honest about what actually crosses the wire.
+func (c *Cluster) executeMove(m partition.Move) error {
+	cur, ok := c.owner[m.Ref.Key()]
+	if !ok {
+		return fmt.Errorf("cluster: plan moves unknown chunk %s", m.Ref)
+	}
+	if cur != m.From {
+		return fmt.Errorf("cluster: plan says %s on node %d, catalog says %d", m.Ref, m.From, cur)
+	}
+	src, ok := c.nodes[m.From]
+	if !ok {
+		return fmt.Errorf("cluster: plan source node %d unknown", m.From)
+	}
+	dst, ok := c.nodes[m.To]
+	if !ok {
+		return fmt.Errorf("cluster: plan target node %d unknown", m.To)
+	}
+	ch, err := src.take(m.Ref)
+	if err != nil {
+		return err
+	}
+	wire, err := array.EncodeChunk(ch)
+	if err != nil {
+		return err
+	}
+	schema, ok := c.schemas[m.Ref.Array]
+	if !ok {
+		return fmt.Errorf("cluster: chunk %s of undefined array", m.Ref)
+	}
+	decoded, err := array.DecodeChunk(schema, wire)
+	if err != nil {
+		return fmt.Errorf("cluster: chunk %s corrupted in transit: %w", m.Ref, err)
+	}
+	if err := dst.put(decoded); err != nil {
+		return err
+	}
+	c.owner[m.Ref.Key()] = m.To
+	return nil
+}
+
+// Validate audits cluster invariants: the catalog and the node stores agree
+// exactly, every chunk decodes under its schema, and per-node accounting
+// matches payload sizes. Tests call it after every phase.
+func (c *Cluster) Validate() error {
+	seen := 0
+	for _, id := range c.order {
+		node := c.nodes[id]
+		var bytes int64
+		for _, ch := range node.Chunks() {
+			key := ch.Ref().Key()
+			owner, ok := c.owner[key]
+			if !ok {
+				return fmt.Errorf("cluster: node %d stores uncatalogued chunk %s", id, key)
+			}
+			if owner != id {
+				return fmt.Errorf("cluster: catalog places %s on %d but it lives on %d", key, owner, id)
+			}
+			if err := ch.Validate(); err != nil {
+				return err
+			}
+			bytes += ch.SizeBytes()
+			seen++
+		}
+		if bytes != node.Bytes() {
+			return fmt.Errorf("cluster: node %d accounts %d bytes, payloads sum to %d", id, node.Bytes(), bytes)
+		}
+	}
+	if seen != len(c.owner) {
+		return fmt.Errorf("cluster: catalog has %d chunks, stores hold %d", len(c.owner), seen)
+	}
+	return nil
+}

@@ -1,0 +1,120 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/array"
+	"repro/internal/partition"
+)
+
+// Node is one shared-nothing host: a chunk store with a storage capacity.
+// Payloads are held decoded (and mirrored to disk when the cluster is
+// configured with a storage directory); sizes are accounted with the same
+// array.Chunk.SizeBytes the partitioners see.
+type Node struct {
+	ID       partition.NodeID
+	Capacity int64
+
+	store ChunkStore
+	// replicas holds fully replicated arrays (e.g. the AIS vessel
+	// array), present on every node and excluded from partitioned
+	// storage accounting.
+	replicas map[string]*array.Chunk
+	repBytes int64
+}
+
+func newNode(id partition.NodeID, capacity int64, store ChunkStore) *Node {
+	if store == nil {
+		store = NewMemStore()
+	}
+	return &Node{
+		ID:       id,
+		Capacity: capacity,
+		store:    store,
+		replicas: make(map[string]*array.Chunk),
+	}
+}
+
+// Bytes returns the partitioned storage footprint of the node.
+func (n *Node) Bytes() int64 { return n.store.Bytes() }
+
+// ReplicaBytes returns the footprint of replicated arrays on the node.
+func (n *Node) ReplicaBytes() int64 { return n.repBytes }
+
+// NumChunks returns the number of partitioned chunks resident.
+func (n *Node) NumChunks() int { return n.store.Len() }
+
+func (n *Node) put(c *array.Chunk) error {
+	if err := n.store.Put(c); err != nil {
+		return fmt.Errorf("cluster: node %d: %w", n.ID, err)
+	}
+	return nil
+}
+
+func (n *Node) take(ref array.ChunkRef) (*array.Chunk, error) {
+	c, err := n.store.Take(ref)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: node %d: %w", n.ID, err)
+	}
+	return c, nil
+}
+
+func (n *Node) get(ref array.ChunkRef) (*array.Chunk, bool) {
+	return n.store.Get(ref)
+}
+
+// Chunk returns the resident partitioned chunk with the given identity.
+func (n *Node) Chunk(ref array.ChunkRef) (*array.Chunk, bool) { return n.get(ref) }
+
+// Replica returns the resident replicated chunk with the given identity.
+func (n *Node) Replica(ref array.ChunkRef) (*array.Chunk, bool) {
+	c, ok := n.replicas[ref.Key()]
+	return c, ok
+}
+
+func (n *Node) putReplica(c *array.Chunk) {
+	key := c.Ref().Key()
+	if old, ok := n.replicas[key]; ok {
+		n.repBytes -= old.SizeBytes()
+	}
+	n.replicas[key] = c
+	n.repBytes += c.SizeBytes()
+}
+
+// Chunks returns the node's partitioned chunks in canonical order.
+func (n *Node) Chunks() []*array.Chunk {
+	refs := n.store.Refs()
+	out := make([]*array.Chunk, 0, len(refs))
+	for _, ref := range refs {
+		if c, ok := n.store.Get(ref); ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Replicas returns the node's replicated chunks in canonical order.
+func (n *Node) Replicas() []*array.Chunk {
+	keys := make([]string, 0, len(n.replicas))
+	for k := range n.replicas {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*array.Chunk, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, n.replicas[k])
+	}
+	return out
+}
+
+// ChunkInfos returns placement metadata for the node's partitioned chunks
+// in canonical order.
+func (n *Node) ChunkInfos() []array.ChunkInfo {
+	cs := n.Chunks()
+	out := make([]array.ChunkInfo, len(cs))
+	for i, c := range cs {
+		out[i] = array.ChunkInfo{Ref: c.Ref(), Size: c.SizeBytes()}
+	}
+	return out
+}

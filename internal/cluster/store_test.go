@@ -1,0 +1,202 @@
+package cluster
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/array"
+	"repro/internal/partition"
+)
+
+func lookupFor(s *array.Schema) func(string) (*array.Schema, bool) {
+	return func(name string) (*array.Schema, bool) {
+		if name == s.Name {
+			return s, true
+		}
+		return nil, false
+	}
+}
+
+func TestMemStoreBasics(t *testing.T) {
+	s := NewMemStore()
+	chunks := makeChunks(t, 5, 8, 11)
+	for _, ch := range chunks {
+		if err := s.Put(ch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Put(chunks[0]); err == nil {
+		t.Error("duplicate Put should fail")
+	}
+	if s.Len() != 5 {
+		t.Errorf("Len = %d, want 5", s.Len())
+	}
+	var want int64
+	for _, ch := range chunks {
+		want += ch.SizeBytes()
+	}
+	if s.Bytes() != want {
+		t.Errorf("Bytes = %d, want %d", s.Bytes(), want)
+	}
+	refs := s.Refs()
+	for i := 1; i < len(refs); i++ {
+		if refs[i].Key() <= refs[i-1].Key() {
+			t.Error("Refs must be sorted")
+		}
+	}
+	got, err := s.Take(chunks[2].Ref())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Ref().Key() != chunks[2].Ref().Key() {
+		t.Error("Take returned the wrong chunk")
+	}
+	if _, err := s.Take(chunks[2].Ref()); err == nil {
+		t.Error("double Take should fail")
+	}
+	if _, ok := s.Get(chunks[2].Ref()); ok {
+		t.Error("taken chunk should be gone")
+	}
+}
+
+func TestDiskStoreWriteThroughAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	schema := testSchema()
+	s, err := NewDiskStore(dir, lookupFor(schema))
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunks := makeChunks(t, 6, 10, 13)
+	for _, ch := range chunks {
+		if err := s.Put(ch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One file per chunk on disk.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 6 {
+		t.Fatalf("%d files on disk, want 6", len(entries))
+	}
+	// Take removes the mirror.
+	if _, err := s.Take(chunks[0].Ref()); err != nil {
+		t.Fatal(err)
+	}
+	entries, _ = os.ReadDir(dir)
+	if len(entries) != 5 {
+		t.Fatalf("%d files after Take, want 5", len(entries))
+	}
+	// Reopen recovers the surviving contents exactly.
+	re, err := OpenDiskStore(dir, lookupFor(schema))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != 5 {
+		t.Fatalf("reopened store has %d chunks, want 5", re.Len())
+	}
+	if re.Bytes() != s.Bytes() {
+		t.Errorf("reopened bytes %d != live bytes %d", re.Bytes(), s.Bytes())
+	}
+	for _, ref := range s.Refs() {
+		a, _ := s.Get(ref)
+		b, ok := re.Get(ref)
+		if !ok {
+			t.Fatalf("chunk %s missing after reopen", ref)
+		}
+		if a.Len() != b.Len() || a.SizeBytes() != b.SizeBytes() {
+			t.Fatalf("chunk %s differs after reopen", ref)
+		}
+	}
+}
+
+func TestOpenDiskStoreRejectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	schema := testSchema()
+	s, err := NewDiskStore(dir, lookupFor(schema))
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunks := makeChunks(t, 2, 6, 17)
+	for _, ch := range chunks {
+		if err := s.Put(ch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, _ := os.ReadDir(dir)
+	if err := os.WriteFile(filepath.Join(dir, entries[0].Name()), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDiskStore(dir, lookupFor(schema)); err == nil {
+		t.Error("corrupt chunk file must fail recovery loudly")
+	}
+	// Unknown array names fail too.
+	other := array.MustSchema("Other",
+		[]array.Attribute{{Name: "v", Type: array.Float64}},
+		[]array.Dimension{{Name: "x", Start: 0, End: 9, ChunkInterval: 2}})
+	if _, err := OpenDiskStore(dir, lookupFor(other)); err == nil {
+		t.Error("unknown array must fail recovery")
+	}
+	if _, err := NewDiskStore(dir, nil); err == nil {
+		t.Error("nil lookup must be rejected")
+	}
+}
+
+func TestClusterWithStorageDirPersistsChunks(t *testing.T) {
+	dir := t.TempDir()
+	c, err := New(Config{
+		InitialNodes: 2,
+		NodeCapacity: 10 << 20,
+		StorageDir:   dir,
+		Partitioner: func(initial []partition.NodeID) (partition.Partitioner, error) {
+			return partition.NewConsistentHash(initial, 32), nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := testSchema()
+	if err := c.DefineArray(schema); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Insert(makeChunks(t, 30, 8, 19)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ScaleOut(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Per-node directories mirror exactly what each node serves, and a
+	// migrated chunk's file moved with it.
+	totalFiles := 0
+	for _, id := range c.Nodes() {
+		node, _ := c.Node(id)
+		st, err := OpenDiskStore(filepath.Join(dir, "node-"+itoa(int(id))), lookupFor(schema))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Len() != node.NumChunks() {
+			t.Errorf("node %d: %d files, %d chunks in memory", id, st.Len(), node.NumChunks())
+		}
+		totalFiles += st.Len()
+	}
+	if totalFiles != c.NumChunks() {
+		t.Errorf("disk holds %d chunks, catalog %d", totalFiles, c.NumChunks())
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	digits := []byte{}
+	for n > 0 {
+		digits = append([]byte{byte('0' + n%10)}, digits...)
+		n /= 10
+	}
+	return string(digits)
+}

@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestQueryBreakdown(t *testing.T) {
+	sweep := quickSweep(t)
+	for _, wl := range []string{"MODIS", "AIS"} {
+		rows := QueryBreakdown(sweep, wl)
+		if len(rows) != 8 {
+			t.Fatalf("%s breakdown has %d rows, want 8", wl, len(rows))
+		}
+		for _, r := range rows {
+			for _, q := range BenchQueries {
+				if r.Minutes[q] <= 0 {
+					t.Errorf("%s/%s: query %s has no time", wl, r.Scheme, q)
+				}
+			}
+		}
+		var buf bytes.Buffer
+		RenderBreakdown(&buf, wl, rows)
+		out := buf.String()
+		for _, q := range BenchQueries {
+			if !strings.Contains(out, q) {
+				t.Errorf("render missing query column %s", q)
+			}
+		}
+	}
+	if rows := QueryBreakdown(sweep, "NOPE"); len(rows) != 0 {
+		t.Error("unknown workload should yield no rows")
+	}
+}

@@ -1,0 +1,97 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 6): the partitioner taxonomy (Table 1), the insert /
+// reorganization / load-balance comparison (Figure 4), the benchmark
+// comparison (Figure 5), the per-cycle join and k-NN series (Figures 6–7),
+// the leading staircase under different planning horizons (Figure 8), the
+// s-tuning error table (Table 2) and the p cost-model validation
+// (Table 3). Each experiment is a pure function from a Config to typed
+// rows; cmd/elasticbench renders them, the root benches time them, and the
+// tests assert the paper's qualitative shapes on the Quick preset.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/workload"
+)
+
+// Config scales the experiments. The zero value selects the full-scale
+// reproduction (the paper's cycle counts); Quick() is a smaller preset for
+// unit tests.
+type Config struct {
+	// MODISCycles and MODISBaseCells size the remote-sensing workload
+	// (defaults: 14 daily cycles, 36 cells/chunk).
+	MODISCycles    int
+	MODISBaseCells int
+	// AISCycles and AISCellsPerCycle size the ship-tracking workload
+	// (defaults: 12 monthly cycles, 6000 broadcasts/cycle).
+	AISCycles        int
+	AISCellsPerCycle int
+	// CapacityFraction sets per-node capacity to total/CapacityFraction,
+	// which with the fixed +2 schedule walks the cluster 2→4→6→8 as in
+	// Section 6.2 (default 7).
+	CapacityFraction int
+	// Seed offsets the generators' seeds (0 = paper defaults).
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MODISCycles == 0 {
+		c.MODISCycles = 14
+	}
+	if c.MODISBaseCells == 0 {
+		c.MODISBaseCells = 36
+	}
+	if c.AISCycles == 0 {
+		c.AISCycles = 12
+	}
+	if c.AISCellsPerCycle == 0 {
+		c.AISCellsPerCycle = 6000
+	}
+	if c.CapacityFraction == 0 {
+		c.CapacityFraction = 7
+	}
+	return c
+}
+
+// Quick returns a scaled-down preset for fast tests: the same shapes at a
+// fraction of the cell counts.
+func Quick() Config {
+	return Config{
+		MODISCycles:      6,
+		MODISBaseCells:   14,
+		AISCycles:        6,
+		AISCellsPerCycle: 2000,
+		CapacityFraction: 6,
+	}
+}
+
+// modis builds the MODIS generator for the config.
+func (c Config) modis() (*workload.MODIS, error) {
+	return workload.NewMODIS(workload.MODISConfig{
+		Cycles:    c.MODISCycles,
+		BaseCells: c.MODISBaseCells,
+		Seed:      c.Seed, // 0 keeps the generator default
+	})
+}
+
+// ais builds the AIS generator for the config.
+func (c Config) ais() (*workload.AIS, error) {
+	return workload.NewAIS(workload.AISConfig{
+		Cycles:        c.AISCycles,
+		CellsPerCycle: c.AISCellsPerCycle,
+		Seed:          c.Seed,
+	})
+}
+
+// capacityOf sizes node capacity from the generator's total demand.
+func (c Config) capacityOf(g workload.Generator) (int64, error) {
+	_, total, err := workload.TotalBytes(g)
+	if err != nil {
+		return 0, err
+	}
+	if total == 0 {
+		return 0, fmt.Errorf("experiments: generator %s produced no data", g.Name())
+	}
+	return total/int64(c.CapacityFraction) + 1, nil
+}

@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/partition"
+)
+
+// RenderTable1 prints the taxonomy as the paper's Table 1.
+func RenderTable1(w io.Writer, rows []Table1Row) {
+	fmt.Fprintf(w, "Table 1: Taxonomy of array partitioners\n")
+	fmt.Fprintf(w, "%-16s %-12s %-12s %-6s %-14s\n", "Partitioner", "Incremental", "Fine-Grained", "Skew-", "n-Dimensional")
+	fmt.Fprintf(w, "%-16s %-12s %-12s %-6s %-14s\n", "", "Scale Out", "Partitioning", "Aware", "Clustering")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-16s %-12s %-12s %-6s %-14s\n", r.Scheme,
+			mark(r.Features.IncrementalScaleOut),
+			mark(r.Features.FineGrained),
+			mark(r.Features.SkewAware),
+			mark(r.Features.NDimensionalClustering))
+	}
+}
+
+func mark(b bool) string {
+	if b {
+		return "X"
+	}
+	return ""
+}
+
+// RenderFigure4 prints the insert/reorganization comparison with the RSD
+// labels.
+func RenderFigure4(w io.Writer, rows []Fig4Row) {
+	fmt.Fprintf(w, "Figure 4: Elastic partitioner insert and reorganization durations (simulated minutes)\n")
+	fmt.Fprintf(w, "%-16s %11s %11s %9s | %11s %11s %9s\n",
+		"Partitioner", "InsertMODIS", "ReorgMODIS", "RSD MODIS", "InsertAIS", "ReorgAIS", "RSD AIS")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-16s %11.1f %11.1f %8.0f%% | %11.1f %11.1f %8.0f%%\n",
+			r.Scheme, r.InsertMODIS, r.ReorgMODIS, r.RSDMODIS*100,
+			r.InsertAIS, r.ReorgAIS, r.RSDAIS*100)
+	}
+}
+
+// RenderFigure5 prints the benchmark comparison.
+func RenderFigure5(w io.Writer, rows []Fig5Row) {
+	fmt.Fprintf(w, "Figure 5: Benchmark times for elastic partitioners (simulated minutes)\n")
+	fmt.Fprintf(w, "%-16s %13s %9s | %11s %7s\n",
+		"Partitioner", "Science MODIS", "SPJ MODIS", "Science AIS", "SPJ AIS")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-16s %13.1f %9.1f | %11.1f %7.1f\n",
+			r.Scheme, r.ScienceMODIS, r.SPJMODIS, r.ScienceAIS, r.SPJAIS)
+	}
+}
+
+// RenderSeries prints a per-cycle figure (Figures 6 and 7).
+func RenderSeries(w io.Writer, title string, rows []SeriesRow) {
+	fmt.Fprintln(w, title)
+	if len(rows) == 0 {
+		return
+	}
+	schemes := make([]string, 0, len(rows[0].Minutes))
+	for s := range rows[0].Minutes {
+		schemes = append(schemes, s)
+	}
+	sort.Strings(schemes)
+	fmt.Fprintf(w, "%-6s", "Cycle")
+	for _, s := range schemes {
+		fmt.Fprintf(w, " %14s", s)
+	}
+	fmt.Fprintln(w)
+	for _, row := range rows {
+		fmt.Fprintf(w, "%-6d", row.Cycle)
+		for _, s := range schemes {
+			fmt.Fprintf(w, " %14.2f", row.Minutes[s])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// RenderFigure8 prints the staircase.
+func RenderFigure8(w io.Writer, res StaircaseResult) {
+	fmt.Fprintf(w, "Figure 8: MODIS staircase with varying provisioner configurations (demand in node capacities)\n")
+	fmt.Fprintf(w, "%-6s %8s", "Cycle", "Demand")
+	for _, p := range StaircasePs {
+		fmt.Fprintf(w, " %8s", fmt.Sprintf("p=%d", p))
+	}
+	fmt.Fprintln(w)
+	for _, row := range res.Rows {
+		fmt.Fprintf(w, "%-6d %8.2f", row.Cycle, row.DemandNodes)
+		for _, p := range StaircasePs {
+			fmt.Fprintf(w, " %8d", row.Nodes[p])
+		}
+		fmt.Fprintln(w)
+	}
+	var parts []string
+	for _, p := range StaircasePs {
+		parts = append(parts, fmt.Sprintf("p=%d: %d", p, res.Reorgs[p]))
+	}
+	fmt.Fprintf(w, "Reorganizations — %s\n", strings.Join(parts, ", "))
+}
+
+// RenderTable2 prints the demand-prediction error table.
+func RenderTable2(w io.Writer, rows []Table2Row, bestAIS, bestMODIS int) {
+	fmt.Fprintf(w, "Table 2: Demand prediction error rates (MB) for sampling levels s=1..4\n")
+	fmt.Fprintf(w, "%-8s %-6s %8s %8s %8s %8s\n", "Workload", "Phase", "s=1", "s=2", "s=3", "s=4")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s %-6s", r.Workload, r.Phase)
+		for _, e := range r.Errors {
+			fmt.Fprintf(w, " %8.3f", e)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "Tuner selection — AIS: s=%d, MODIS: s=%d\n", bestAIS, bestMODIS)
+}
+
+// RenderTable3 prints the cost-model validation.
+func RenderTable3(w io.Writer, rows []Table3Row) {
+	fmt.Fprintf(w, "Table 3: Analytical cost modeling of MODIS controller set points (node hours)\n")
+	fmt.Fprintf(w, "%-6s %14s %14s\n", "p", "Cost Estimate", "Measured Cost")
+	for _, r := range rows {
+		fmt.Fprintf(w, "p = %-2d %14.2f %14.2f\n", r.P, r.Estimate, r.Measured)
+	}
+}
+
+// RenderBreakdown prints the per-query latency detail for one workload.
+func RenderBreakdown(w io.Writer, wl string, rows []BreakdownRow) {
+	fmt.Fprintf(w, "%s benchmark breakdown (summed simulated minutes per query)\n", wl)
+	fmt.Fprintf(w, "%-16s", "Partitioner")
+	for _, q := range BenchQueries {
+		fmt.Fprintf(w, " %11s", q)
+	}
+	fmt.Fprintln(w)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-16s", r.Scheme)
+		for _, q := range BenchQueries {
+			fmt.Fprintf(w, " %11.2f", r.Minutes[q])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// RenderSweepTotals prints the Section 6.2.3 end-to-end comparison.
+func RenderSweepTotals(w io.Writer, sweep map[string]map[string]SchemeRun) {
+	fmt.Fprintf(w, "Workload cost (Section 6.2.3): total workload minutes per scheme\n")
+	fmt.Fprintf(w, "%-16s %8s %8s\n", "Partitioner", "MODIS", "AIS")
+	for _, kind := range partition.Kinds() {
+		m, a := sweep["MODIS"][kind], sweep["AIS"][kind]
+		fmt.Fprintf(w, "%-16s %8.1f %8.1f\n", m.Scheme, m.TotalMinutes(), a.TotalMinutes())
+	}
+}

@@ -1,0 +1,247 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/partition"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// SchemeRun is one (partitioner, workload) execution of the Section 6.2
+// setup: start with 2 nodes, add 2 whenever the incoming insert exceeds
+// capacity, end at 8, running the full benchmark each cycle.
+type SchemeRun struct {
+	Scheme   string // display name, as in the figures
+	Kind     string // registry key
+	Workload string
+	// Summed phase durations over the whole run.
+	Insert, Reorg, SPJ, Science float64 // simulated minutes
+	// MeanRSD averages the post-insert storage RSD over all cycles —
+	// the Figure 4 labels.
+	MeanRSD float64
+	// MovedBytes is the total migration volume.
+	MovedBytes int64
+	// FinalNodes is the cluster size at the end.
+	FinalNodes int
+	// PerCycle retains the full per-cycle statistics for Figures 6–7.
+	PerCycle []core.CycleStats
+}
+
+// TotalMinutes is the run's end-to-end workload duration (the Section
+// 6.2.3 comparison).
+func (r SchemeRun) TotalMinutes() float64 { return r.Insert + r.Reorg + r.SPJ + r.Science }
+
+// RunScheme executes one partitioner over one workload.
+func RunScheme(cfg Config, kind string, gen workload.Generator) (SchemeRun, error) {
+	cfg = cfg.withDefaults()
+	capacity, err := cfg.capacityOf(gen)
+	if err != nil {
+		return SchemeRun{}, err
+	}
+	eng, err := core.NewEngine(gen, core.Config{
+		PartitionerKind: kind,
+		InitialNodes:    2,
+		NodeCapacity:    capacity,
+		Cost:            cluster.ScaledCostModel(),
+		FixedStep:       2,
+		MaxNodes:        8,
+		RunQueries:      true,
+	})
+	if err != nil {
+		return SchemeRun{}, err
+	}
+	perCycle, err := eng.Run()
+	if err != nil {
+		return SchemeRun{}, fmt.Errorf("experiments: %s over %s: %w", kind, gen.Name(), err)
+	}
+	run := SchemeRun{
+		Scheme:     eng.Cluster().Partitioner().Name(),
+		Kind:       kind,
+		Workload:   gen.Name(),
+		FinalNodes: eng.Cluster().NumNodes(),
+		PerCycle:   perCycle,
+	}
+	var rsds []float64
+	for _, s := range perCycle {
+		run.Insert += s.Insert.Minutes()
+		run.Reorg += s.Reorg.Minutes()
+		run.SPJ += s.Suite.SPJ.Minutes()
+		run.Science += s.Suite.Science.Minutes()
+		run.MovedBytes += s.MovedBytes
+		rsds = append(rsds, s.RSD)
+	}
+	run.MeanRSD = stats.Mean(rsds)
+	return run, nil
+}
+
+// Sweep runs every partitioner over both workloads — the data behind
+// Figures 4, 5, 6 and 7. Results are keyed [workload][kind].
+func Sweep(cfg Config) (map[string]map[string]SchemeRun, error) {
+	cfg = cfg.withDefaults()
+	out := map[string]map[string]SchemeRun{"MODIS": {}, "AIS": {}}
+	for _, kind := range partition.Kinds() {
+		modis, err := cfg.modis()
+		if err != nil {
+			return nil, err
+		}
+		run, err := RunScheme(cfg, kind, modis)
+		if err != nil {
+			return nil, err
+		}
+		out["MODIS"][kind] = run
+
+		ais, err := cfg.ais()
+		if err != nil {
+			return nil, err
+		}
+		run, err = RunScheme(cfg, kind, ais)
+		if err != nil {
+			return nil, err
+		}
+		out["AIS"][kind] = run
+	}
+	return out, nil
+}
+
+// Fig4Row is one bar group of Figure 4: insert and reorganization minutes
+// per workload with the RSD labels.
+type Fig4Row struct {
+	Scheme                  string
+	InsertMODIS, ReorgMODIS float64
+	InsertAIS, ReorgAIS     float64
+	RSDMODIS, RSDAIS        float64
+}
+
+// Figure4 extracts the Figure 4 rows from a sweep.
+func Figure4(sweep map[string]map[string]SchemeRun) []Fig4Row {
+	var rows []Fig4Row
+	for _, kind := range partition.Kinds() {
+		m, a := sweep["MODIS"][kind], sweep["AIS"][kind]
+		rows = append(rows, Fig4Row{
+			Scheme:      m.Scheme,
+			InsertMODIS: m.Insert, ReorgMODIS: m.Reorg,
+			InsertAIS: a.Insert, ReorgAIS: a.Reorg,
+			RSDMODIS: m.MeanRSD, RSDAIS: a.MeanRSD,
+		})
+	}
+	return rows
+}
+
+// Fig5Row is one bar group of Figure 5: total benchmark minutes split into
+// Science and SPJ per workload.
+type Fig5Row struct {
+	Scheme                 string
+	ScienceMODIS, SPJMODIS float64
+	ScienceAIS, SPJAIS     float64
+}
+
+// Figure5 extracts the Figure 5 rows from a sweep.
+func Figure5(sweep map[string]map[string]SchemeRun) []Fig5Row {
+	var rows []Fig5Row
+	for _, kind := range partition.Kinds() {
+		m, a := sweep["MODIS"][kind], sweep["AIS"][kind]
+		rows = append(rows, Fig5Row{
+			Scheme:       m.Scheme,
+			ScienceMODIS: m.Science, SPJMODIS: m.SPJ,
+			ScienceAIS: a.Science, SPJAIS: a.SPJ,
+		})
+	}
+	return rows
+}
+
+// SeriesRow is one workload cycle of a per-cycle figure: the latency of
+// one query under every scheme.
+type SeriesRow struct {
+	Cycle   int
+	Minutes map[string]float64 // scheme display name -> minutes
+}
+
+// Figure6 extracts the MODIS join-duration series (vegetation-index join
+// over the most recent day, per cycle, per scheme).
+func Figure6(sweep map[string]map[string]SchemeRun) []SeriesRow {
+	return perQuerySeries(sweep["MODIS"], "join")
+}
+
+// Figure7 extracts the AIS k-NN series.
+func Figure7(sweep map[string]map[string]SchemeRun) []SeriesRow {
+	return perQuerySeries(sweep["AIS"], "modeling")
+}
+
+func perQuerySeries(runs map[string]SchemeRun, queryName string) []SeriesRow {
+	var cycles int
+	for _, r := range runs {
+		if len(r.PerCycle) > cycles {
+			cycles = len(r.PerCycle)
+		}
+	}
+	rows := make([]SeriesRow, 0, cycles)
+	for i := 0; i < cycles; i++ {
+		row := SeriesRow{Cycle: i + 1, Minutes: make(map[string]float64)}
+		for _, kind := range partition.Kinds() {
+			r, ok := runs[kind]
+			if !ok || i >= len(r.PerCycle) {
+				continue
+			}
+			q, ok := r.PerCycle[i].Suite.PerQuery[queryName]
+			if !ok {
+				continue
+			}
+			row.Minutes[r.Scheme] = q.Elapsed.Minutes()
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// BenchQueries are the six benchmark queries in Section 3.3's order.
+var BenchQueries = []string{"selection", "sort", "join", "statistics", "modeling", "projection"}
+
+// BreakdownRow is one scheme's summed latency per benchmark query — the
+// detail behind Figure 5's bars.
+type BreakdownRow struct {
+	Scheme  string
+	Minutes map[string]float64 // query name -> summed simulated minutes
+}
+
+// QueryBreakdown extracts the per-query latency detail for one workload
+// from a sweep.
+func QueryBreakdown(sweep map[string]map[string]SchemeRun, wl string) []BreakdownRow {
+	var rows []BreakdownRow
+	for _, kind := range partition.Kinds() {
+		run, ok := sweep[wl][kind]
+		if !ok {
+			continue
+		}
+		row := BreakdownRow{Scheme: run.Scheme, Minutes: make(map[string]float64)}
+		for _, s := range run.PerCycle {
+			for name, q := range s.Suite.PerQuery {
+				row.Minutes[name] += q.Elapsed.Minutes()
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// Table1Row is one row of the partitioner taxonomy.
+type Table1Row struct {
+	Scheme   string
+	Features partition.Features
+}
+
+// Table1 reproduces the taxonomy table from the schemes' Features.
+func Table1() []Table1Row {
+	var rows []Table1Row
+	for _, kind := range partition.Kinds() {
+		p, err := partition.New(kind, []partition.NodeID{0, 1},
+			partition.Geometry{Extents: []int64{8, 8}}, partition.Options{NodeCapacity: 1 << 20})
+		if err != nil {
+			panic(err) // registry kinds always construct
+		}
+		rows = append(rows, Table1Row{Scheme: p.Name(), Features: p.Features()})
+	}
+	return rows
+}

@@ -1,0 +1,209 @@
+// Package integration runs whole-system tests across every partitioning
+// scheme and both workloads: the full cyclic workload model with the
+// benchmark suite enabled, auditing cluster invariants after every phase.
+package integration
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/array"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/partition"
+	"repro/internal/workload"
+)
+
+func generators(t *testing.T) []workload.Generator {
+	t.Helper()
+	m, err := workload.NewMODIS(workload.MODISConfig{Cycles: 4, BaseCells: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := workload.NewAIS(workload.AISConfig{Cycles: 4, CellsPerCycle: 1200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []workload.Generator{m, a}
+}
+
+// TestEverySchemeEveryWorkload is the broad sweep: 8 schemes × 2 workloads,
+// full cyclic model with queries, invariants audited per cycle.
+func TestEverySchemeEveryWorkload(t *testing.T) {
+	for _, kind := range partition.Kinds() {
+		kind := kind
+		t.Run(kind, func(t *testing.T) {
+			t.Parallel()
+			for _, gen := range generators(t) {
+				_, total, err := workload.TotalBytes(gen)
+				if err != nil {
+					t.Fatal(err)
+				}
+				eng, err := core.NewEngine(gen, core.Config{
+					PartitionerKind: kind,
+					InitialNodes:    2,
+					NodeCapacity:    total/6 + 1,
+					Cost:            cluster.ScaledCostModel(),
+					FixedStep:       2,
+					MaxNodes:        8,
+					RunQueries:      true,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				var chunkCount int
+				var bytesSoFar int64
+				for cycle := 0; cycle < gen.Cycles(); cycle++ {
+					batch, err := gen.Batch(cycle)
+					if err != nil {
+						t.Fatal(err)
+					}
+					s, err := eng.RunCycle()
+					if err != nil {
+						t.Fatalf("%s/%s cycle %d: %v", kind, gen.Name(), cycle, err)
+					}
+					c := eng.Cluster()
+					if err := c.Validate(); err != nil {
+						t.Fatalf("%s/%s cycle %d: %v", kind, gen.Name(), cycle, err)
+					}
+					chunkCount += len(batch)
+					bytesSoFar += workload.BatchBytes(batch)
+					if c.NumChunks() != chunkCount {
+						t.Fatalf("%s/%s cycle %d: %d chunks, want %d", kind, gen.Name(), cycle, c.NumChunks(), chunkCount)
+					}
+					if c.TotalBytes() != bytesSoFar {
+						t.Fatalf("%s/%s cycle %d: %d bytes, want %d (conservation)", kind, gen.Name(), cycle, c.TotalBytes(), bytesSoFar)
+					}
+					if len(s.Suite.PerQuery) != 6 {
+						t.Fatalf("%s/%s cycle %d: %d queries ran, want 6", kind, gen.Name(), cycle, len(s.Suite.PerQuery))
+					}
+					for name, q := range s.Suite.PerQuery {
+						if q.Elapsed <= 0 {
+							t.Fatalf("%s/%s cycle %d: query %s has no latency", kind, gen.Name(), cycle, name)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestQueryAnswersArePlacementIndependent runs the full benchmark under
+// three very different placements and requires identical answers: where
+// data lives must never change what queries compute.
+func TestQueryAnswersArePlacementIndependent(t *testing.T) {
+	type answers map[string][2]float64 // query -> {cells, value}
+	runAll := func(kind string) answers {
+		gen, err := workload.NewAIS(workload.AISConfig{Cycles: 3, CellsPerCycle: 1500})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, total, err := workload.TotalBytes(gen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := core.NewEngine(gen, core.Config{
+			PartitionerKind: kind,
+			InitialNodes:    2,
+			NodeCapacity:    total/5 + 1,
+			FixedStep:       2,
+			MaxNodes:        8,
+			RunQueries:      true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats, err := eng.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		last := stats[len(stats)-1]
+		out := answers{}
+		for name, q := range last.Suite.PerQuery {
+			out[name] = [2]float64{float64(q.Cells), q.Value}
+		}
+		return out
+	}
+	base := runAll(partition.KindRoundRobin)
+	for _, kind := range []string{partition.KindKdTree, partition.KindConsistent, partition.KindAppend} {
+		got := runAll(kind)
+		for name, want := range base {
+			if got[name] != want {
+				t.Errorf("query %s answers differ between %s and round robin: %v vs %v",
+					name, kind, got[name], want)
+			}
+		}
+	}
+}
+
+// TestDiskBackedEngineRun drives a full engine run with durable storage
+// and verifies every node's on-disk state matches its served state.
+func TestDiskBackedEngineRun(t *testing.T) {
+	gen, err := workload.NewMODIS(workload.MODISConfig{Cycles: 3, BaseCells: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, total, err := workload.TotalBytes(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	geom := gen.Geometry()
+	c, err := cluster.New(cluster.Config{
+		InitialNodes: 2,
+		NodeCapacity: total/4 + 1,
+		StorageDir:   dir,
+		Partitioner: func(initial []partition.NodeID) (partition.Partitioner, error) {
+			return partition.NewHilbertCurve(initial, geom)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range gen.Schemas() {
+		if err := c.DefineArray(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for cycle := 0; cycle < gen.Cycles(); cycle++ {
+		batch, err := gen.Batch(cycle)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if demand := c.TotalBytes() + workload.BatchBytes(batch); demand > c.Capacity() {
+			if _, err := c.ScaleOut(2); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := c.Insert(batch); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Recover each node's store from disk and compare against what the
+	// live node serves.
+	lookup := func(name string) (*array.Schema, bool) { return c.Schema(name) }
+	for _, id := range c.Nodes() {
+		node, _ := c.Node(id)
+		st, err := cluster.OpenDiskStore(fmt.Sprintf("%s/node-%d", dir, id), lookup)
+		if err != nil {
+			t.Fatalf("recovering node %d: %v", id, err)
+		}
+		if st.Len() != node.NumChunks() || st.Bytes() != node.Bytes() {
+			t.Fatalf("node %d: disk holds %d chunks/%d bytes, memory %d/%d",
+				id, st.Len(), st.Bytes(), node.NumChunks(), node.Bytes())
+		}
+		for _, ref := range st.Refs() {
+			live, ok := node.Chunk(ref)
+			if !ok {
+				t.Fatalf("node %d: disk chunk %s not served", id, ref)
+			}
+			recovered, _ := st.Get(ref)
+			if live.Len() != recovered.Len() || live.SizeBytes() != recovered.SizeBytes() {
+				t.Fatalf("node %d: chunk %s differs between disk and memory", id, ref)
+			}
+		}
+	}
+}

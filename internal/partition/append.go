@@ -1,0 +1,62 @@
+package partition
+
+import (
+	"repro/internal/array"
+)
+
+// Append is the paper's append-only range scheme: each new chunk goes to
+// the first node that is not yet at capacity, spilling to the next when the
+// current target fills. The partitioning table is a list of insert-order
+// ranges, one per node. Scale-out is free — a new node simply "picks up
+// where its predecessor left off" — at the price of poor use of new nodes
+// and no spatial clustering beyond insert (time) order.
+type Append struct {
+	// Capacity is the per-node fill target in bytes before spilling to
+	// the next node.
+	capacity int64
+	nodes    []NodeID
+	filled   []int64 // bytes routed to each node so far, parallel to nodes
+	target   int     // index into nodes currently receiving writes
+}
+
+// NewAppend returns an append partitioner that fills each node to capacity
+// bytes before moving on.
+func NewAppend(initial []NodeID, capacity int64) *Append {
+	return &Append{
+		capacity: capacity,
+		nodes:    append([]NodeID(nil), initial...),
+		filled:   make([]int64, len(initial)),
+	}
+}
+
+// Name implements Partitioner.
+func (p *Append) Name() string { return "Append" }
+
+// Features implements Partitioner: incremental (no movement at scale-out)
+// and skew-aware (the table advances on storage size, not chunk count).
+func (p *Append) Features() Features {
+	return Features{IncrementalScaleOut: true, SkewAware: true}
+}
+
+// Place implements Partitioner: route to the current target, advancing it
+// when full. If every node is at capacity the last node absorbs overflow —
+// the situation the provisioner exists to prevent.
+func (p *Append) Place(info array.ChunkInfo, st State) NodeID {
+	for p.target < len(p.nodes)-1 && p.filled[p.target] >= p.capacity {
+		p.target++
+	}
+	p.filled[p.target] += info.Size
+	return p.nodes[p.target]
+}
+
+// AddNodes implements Partitioner. Append never moves preexisting data:
+// the new nodes are queued after the current target and fill up as inserts
+// arrive. The returned plan is always empty.
+func (p *Append) AddNodes(newNodes []NodeID, st State) ([]Move, error) {
+	if err := validateNewNodes(newNodes, st); err != nil {
+		return nil, err
+	}
+	p.nodes = append(p.nodes, newNodes...)
+	p.filled = append(p.filled, make([]int64, len(newNodes))...)
+	return nil, nil
+}

@@ -1,0 +1,60 @@
+package partition
+
+import (
+	"testing"
+
+	"repro/internal/array"
+)
+
+// BenchmarkPlace measures steady-state placement lookup per scheme.
+func BenchmarkPlace(b *testing.B) {
+	for _, kind := range Kinds() {
+		b.Run(kind, func(b *testing.B) {
+			p, err := New(kind, []NodeID{0, 1, 2, 3}, grid16(), Options{NodeCapacity: 1 << 30})
+			if err != nil {
+				b.Fatal(err)
+			}
+			st := newFakeState(0, 1, 2, 3)
+			infos := uniformChunks(200, 1<<12, 1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				info := infos[i%len(infos)]
+				// Vary the coordinate so hash/tree paths are exercised.
+				_ = p.Place(info, st)
+			}
+		})
+	}
+}
+
+// BenchmarkAddNodes measures an end-to-end scale-out planning round per
+// scheme: build the table, ingest 256 skewed chunks, plan a two-node
+// expansion. Setup is included in the measurement (StopTimer around
+// per-iteration setup would let b.N explode for the schemes whose plans
+// are near-free, like Append).
+func BenchmarkAddNodes(b *testing.B) {
+	chunks := skewedChunks(7)
+	for _, kind := range Kinds() {
+		b.Run(kind, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p, err := New(kind, []NodeID{0, 1}, grid16(), Options{NodeCapacity: 1 << 20})
+				if err != nil {
+					b.Fatal(err)
+				}
+				st := newFakeState(0, 1)
+				for _, info := range chunks {
+					st.ingest(b, p, info)
+				}
+				if _, err := p.AddNodes([]NodeID{2, 3}, st); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkHashRef(b *testing.B) {
+	ref := array.ChunkRef{Array: "Band1", Coords: array.ChunkCoord{3, 17, 250}}
+	for i := 0; i < b.N; i++ {
+		_ = hashRef(ref)
+	}
+}

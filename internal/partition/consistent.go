@@ -1,0 +1,73 @@
+package partition
+
+import (
+	"repro/internal/array"
+	"repro/internal/ring"
+)
+
+// DefaultVirtualNodes is the per-node replica count the Consistent Hash
+// partitioner places on its ring when the caller does not override it.
+const DefaultVirtualNodes = 128
+
+// ConsistentHash distributes chunks around a Karger hash circle ([24] in
+// the paper). Chunk counts per node come out approximately equal for any
+// cluster size, lookups are O(log v), and a scale-out moves chunks only
+// from a few predecessors to the new node. It is not skew-aware — chunk
+// positions ignore physical size — and it destroys spatial locality.
+type ConsistentHash struct {
+	r *ring.Ring
+}
+
+// NewConsistentHash builds the partitioner with the given virtual-node
+// count (0 means DefaultVirtualNodes).
+func NewConsistentHash(initial []NodeID, virtualNodes int) *ConsistentHash {
+	if virtualNodes <= 0 {
+		virtualNodes = DefaultVirtualNodes
+	}
+	r := ring.MustNew(virtualNodes)
+	for _, n := range initial {
+		if err := r.Add(int(n)); err != nil {
+			panic(err) // initial IDs are caller-controlled and unique
+		}
+	}
+	return &ConsistentHash{r: r}
+}
+
+// Name implements Partitioner.
+func (p *ConsistentHash) Name() string { return "Cons. Hash" }
+
+// Features implements Partitioner: incremental and fine-grained.
+func (p *ConsistentHash) Features() Features {
+	return Features{IncrementalScaleOut: true, FineGrained: true}
+}
+
+// Place implements Partitioner: the chunk's owner is the first node
+// clockwise from its hashed grid position (position-keyed, so congruent
+// arrays collocate equal chunk coordinates — see hashRef).
+func (p *ConsistentHash) Place(info array.ChunkInfo, st State) NodeID {
+	return NodeID(p.r.Owner(info.Ref.Coords.Key()))
+}
+
+// AddNodes implements Partitioner. New nodes hash themselves onto the
+// circle; every chunk whose owner changed moves — necessarily to a new
+// node, which is the consistent-hashing guarantee the tests pin down.
+func (p *ConsistentHash) AddNodes(newNodes []NodeID, st State) ([]Move, error) {
+	if err := validateNewNodes(newNodes, st); err != nil {
+		return nil, err
+	}
+	for _, n := range newNodes {
+		if err := p.r.Add(int(n)); err != nil {
+			return nil, err
+		}
+	}
+	var moves []Move
+	for _, info := range allChunks(st) {
+		want := NodeID(p.r.Owner(info.Ref.Coords.Key()))
+		cur, _ := st.Owner(info.Ref)
+		if cur != want {
+			moves = append(moves, Move{Ref: info.Ref, From: cur, To: want, Size: info.Size})
+		}
+	}
+	sortMoves(moves)
+	return moves, nil
+}

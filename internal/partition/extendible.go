@@ -1,0 +1,200 @@
+package partition
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"repro/internal/array"
+)
+
+// bucket is one entry of the extendible-hash directory: it owns every chunk
+// whose hash's low `depth` bits equal `pattern`.
+type bucket struct {
+	pattern uint64
+	depth   uint
+	node    NodeID
+}
+
+func (b bucket) matches(h uint64) bool {
+	mask := (uint64(1) << b.depth) - 1
+	return h&mask == b.pattern
+}
+
+// ExtendibleHash adapts Fagin et al.'s extendible hashing ([19] in the
+// paper) to elastic placement. The hash space is divided into buckets by
+// trailing hash bits, one or more buckets per node. When the cluster scales
+// out, the scheme splits a bucket of the most heavily burdened node by one
+// more bit and hands the upper half to a new node — skew-aware because the
+// split victim is chosen by physical storage, incremental because data
+// leaves only the split node.
+type ExtendibleHash struct {
+	buckets []bucket
+}
+
+// NewExtendibleHash builds the directory over the initial nodes: the hash
+// space is cut into the smallest power-of-two number of buckets covering
+// the node count, assigned to nodes in pattern order (so some nodes own two
+// buckets when the count is not a power of two).
+func NewExtendibleHash(initial []NodeID) *ExtendibleHash {
+	n := len(initial)
+	if n == 0 {
+		panic("partition: ExtendibleHash needs at least one initial node")
+	}
+	depth := uint(bits.Len(uint(n - 1))) // ceil(log2 n), 0 for n=1
+	total := 1 << depth
+	p := &ExtendibleHash{}
+	for i := 0; i < total; i++ {
+		p.buckets = append(p.buckets, bucket{
+			pattern: uint64(i),
+			depth:   depth,
+			node:    initial[i%n],
+		})
+	}
+	return p
+}
+
+// Name implements Partitioner.
+func (p *ExtendibleHash) Name() string { return "Extend. Hash" }
+
+// Features implements Partitioner: incremental, fine-grained, skew-aware.
+func (p *ExtendibleHash) Features() Features {
+	return Features{IncrementalScaleOut: true, FineGrained: true, SkewAware: true}
+}
+
+// Place implements Partitioner: directory lookup on the chunk hash's
+// trailing bits.
+func (p *ExtendibleHash) Place(info array.ChunkInfo, st State) NodeID {
+	return p.owner(hashRef(info.Ref))
+}
+
+func (p *ExtendibleHash) owner(h uint64) NodeID {
+	for _, b := range p.buckets {
+		if b.matches(h) {
+			return b.node
+		}
+	}
+	panic("partition: extendible hash directory does not cover hash space")
+}
+
+// AddNodes implements Partitioner. For each new node in turn: find the most
+// heavily burdened node, split its largest bucket by one more trailing bit
+// and reassign the upper half (pattern | 1<<depth) to the new node. Loads
+// are tracked against the evolving plan so several nodes added at once
+// split several victims.
+func (p *ExtendibleHash) AddNodes(newNodes []NodeID, st State) ([]Move, error) {
+	if err := validateNewNodes(newNodes, st); err != nil {
+		return nil, err
+	}
+	// Planned load per node and bucket residence of every chunk under
+	// the evolving directory.
+	load := make(map[NodeID]int64)
+	home := make(map[string]NodeID)
+	chunks := allChunks(st)
+	for _, info := range chunks {
+		n := p.owner(hashRef(info.Ref))
+		load[n] += info.Size
+		home[info.Ref.Key()] = n
+	}
+	for _, n := range st.Nodes() {
+		if _, ok := load[n]; !ok {
+			load[n] = 0
+		}
+	}
+	for _, newNode := range newNodes {
+		victim := maxLoadNode(load)
+		bi, err := p.largestBucketOf(victim, chunks)
+		if err != nil {
+			return nil, err
+		}
+		b := p.buckets[bi]
+		if b.depth >= 62 {
+			return nil, fmt.Errorf("partition: extendible hash bucket depth exhausted")
+		}
+		lower := bucket{pattern: b.pattern, depth: b.depth + 1, node: victim}
+		upper := bucket{pattern: b.pattern | 1<<b.depth, depth: b.depth + 1, node: newNode}
+		p.buckets[bi] = lower
+		p.buckets = append(p.buckets, upper)
+		// Re-home the chunks that fell into the upper half.
+		for _, info := range chunks {
+			h := hashRef(info.Ref)
+			if upper.matches(h) {
+				load[victim] -= info.Size
+				load[newNode] += info.Size
+				home[info.Ref.Key()] = newNode
+			}
+		}
+		if _, ok := load[newNode]; !ok {
+			load[newNode] = 0
+		}
+	}
+	var moves []Move
+	for _, info := range chunks {
+		want := home[info.Ref.Key()]
+		cur, _ := st.Owner(info.Ref)
+		if cur != want {
+			moves = append(moves, Move{Ref: info.Ref, From: cur, To: want, Size: info.Size})
+		}
+	}
+	sortMoves(moves)
+	return moves, nil
+}
+
+// largestBucketOf returns the index of the victim node's bucket holding
+// the most bytes (ties: shallowest depth, then lowest pattern — splitting
+// broad buckets first keeps the directory shallow).
+func (p *ExtendibleHash) largestBucketOf(victim NodeID, chunks []array.ChunkInfo) (int, error) {
+	type cand struct {
+		idx  int
+		size int64
+	}
+	var cands []cand
+	for i, b := range p.buckets {
+		if b.node != victim {
+			continue
+		}
+		var size int64
+		for _, info := range chunks {
+			if b.matches(hashRef(info.Ref)) {
+				size += info.Size
+			}
+		}
+		cands = append(cands, cand{idx: i, size: size})
+	}
+	if len(cands) == 0 {
+		return 0, fmt.Errorf("partition: node %d owns no extendible hash bucket", victim)
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		a, b := cands[i], cands[j]
+		if a.size != b.size {
+			return a.size > b.size
+		}
+		ba, bb := p.buckets[a.idx], p.buckets[b.idx]
+		if ba.depth != bb.depth {
+			return ba.depth < bb.depth
+		}
+		return ba.pattern < bb.pattern
+	})
+	return cands[0].idx, nil
+}
+
+func maxLoadNode(load map[NodeID]int64) NodeID {
+	return nodesByLoadDesc(load)[0]
+}
+
+// nodesByLoadDesc orders nodes by descending load, ties by ascending ID —
+// the candidate order the splitting schemes walk when the most burdened
+// node's region turns out to be indivisible.
+func nodesByLoadDesc(load map[NodeID]int64) []NodeID {
+	ids := make([]NodeID, 0, len(load))
+	for n := range load {
+		ids = append(ids, n)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if load[ids[i]] != load[ids[j]] {
+			return load[ids[i]] > load[ids[j]]
+		}
+		return ids[i] < ids[j]
+	})
+	return ids
+}

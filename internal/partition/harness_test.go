@@ -1,0 +1,186 @@
+package partition
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/array"
+	"repro/internal/stats"
+)
+
+// fakeState is a miniature cluster catalog implementing State, used to
+// exercise partitioners without the full cluster machinery.
+type fakeState struct {
+	nodes  []NodeID
+	chunks map[string]array.ChunkInfo
+	owner  map[string]NodeID
+}
+
+func newFakeState(nodes ...NodeID) *fakeState {
+	return &fakeState{
+		nodes:  append([]NodeID(nil), nodes...),
+		chunks: make(map[string]array.ChunkInfo),
+		owner:  make(map[string]NodeID),
+	}
+}
+
+func (s *fakeState) Nodes() []NodeID {
+	out := append([]NodeID(nil), s.nodes...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (s *fakeState) NodeLoad(n NodeID) int64 {
+	var total int64
+	for key, owner := range s.owner {
+		if owner == n {
+			total += s.chunks[key].Size
+		}
+	}
+	return total
+}
+
+func (s *fakeState) NodeChunks(n NodeID) []array.ChunkInfo {
+	var out []array.ChunkInfo
+	for key, owner := range s.owner {
+		if owner == n {
+			out = append(out, s.chunks[key])
+		}
+	}
+	array.SortChunkInfos(out)
+	return out
+}
+
+func (s *fakeState) Owner(ref array.ChunkRef) (NodeID, bool) {
+	n, ok := s.owner[ref.Key()]
+	return n, ok
+}
+
+// ingest places the chunk via the partitioner and records the placement.
+func (s *fakeState) ingest(t testing.TB, p Partitioner, info array.ChunkInfo) NodeID {
+	t.Helper()
+	n := p.Place(info, s)
+	if !s.hasNode(n) {
+		t.Fatalf("%s placed %s on unknown node %d", p.Name(), info.Ref, n)
+	}
+	s.chunks[info.Ref.Key()] = info
+	s.owner[info.Ref.Key()] = n
+	return n
+}
+
+func (s *fakeState) hasNode(n NodeID) bool {
+	for _, m := range s.nodes {
+		if m == n {
+			return true
+		}
+	}
+	return false
+}
+
+// scaleOut adds nodes via the partitioner, validates the plan against the
+// catalog, and applies it.
+func (s *fakeState) scaleOut(t testing.TB, p Partitioner, newNodes ...NodeID) []Move {
+	t.Helper()
+	moves, err := p.AddNodes(newNodes, s)
+	if err != nil {
+		t.Fatalf("%s.AddNodes(%v): %v", p.Name(), newNodes, err)
+	}
+	s.nodes = append(s.nodes, newNodes...)
+	seen := make(map[string]bool)
+	for _, m := range moves {
+		if seen[m.Ref.Key()] {
+			t.Fatalf("%s plan moves chunk %s twice", p.Name(), m.Ref)
+		}
+		seen[m.Ref.Key()] = true
+		cur, ok := s.owner[m.Ref.Key()]
+		if !ok {
+			t.Fatalf("%s plan moves unknown chunk %s", p.Name(), m.Ref)
+		}
+		if cur != m.From {
+			t.Fatalf("%s plan says %s is on %d, catalog says %d", p.Name(), m.Ref, m.From, cur)
+		}
+		if m.From == m.To {
+			t.Fatalf("%s plan moves %s to its own node", p.Name(), m.Ref)
+		}
+		if !s.hasNode(m.To) {
+			t.Fatalf("%s plan targets unknown node %d", p.Name(), m.To)
+		}
+		if m.Size != s.chunks[m.Ref.Key()].Size {
+			t.Fatalf("%s plan mis-sizes %s", p.Name(), m.Ref)
+		}
+		s.owner[m.Ref.Key()] = m.To
+	}
+	return moves
+}
+
+// loads returns the byte load per node, indexed by node order.
+func (s *fakeState) loads() []float64 {
+	out := make([]float64, 0, len(s.nodes))
+	for _, n := range s.Nodes() {
+		out = append(out, float64(s.NodeLoad(n)))
+	}
+	return out
+}
+
+// grid16 is the default test geometry: a 16×16 chunk grid.
+func grid16() Geometry { return Geometry{Extents: []int64{16, 16}} }
+
+// chunkAt builds a ChunkInfo at grid position (x, y) with the given size.
+func chunkAt(x, y int64, size int64) array.ChunkInfo {
+	return array.ChunkInfo{
+		Ref:  array.ChunkRef{Array: "A", Coords: array.ChunkCoord{x, y}},
+		Size: size,
+	}
+}
+
+// uniformChunks yields n chunks scattered uniformly over the grid with
+// equal sizes.
+func uniformChunks(n int, size int64, seed int64) []array.ChunkInfo {
+	rng := rand.New(rand.NewSource(seed))
+	used := make(map[string]bool)
+	var out []array.ChunkInfo
+	for len(out) < n {
+		x, y := rng.Int63n(16), rng.Int63n(16)
+		info := chunkAt(x, y, size)
+		if used[info.Ref.Key()] {
+			continue
+		}
+		used[info.Ref.Key()] = true
+		out = append(out, info)
+	}
+	return out
+}
+
+// skewedChunks yields one chunk per grid cell with Zipf-skewed sizes
+// concentrated near a hot corner, mimicking the AIS port skew.
+func skewedChunks(seed int64) []array.ChunkInfo {
+	rng := rand.New(rand.NewSource(seed))
+	var out []array.ChunkInfo
+	for x := int64(0); x < 16; x++ {
+		for y := int64(0); y < 16; y++ {
+			// Distance from the hot corner controls the rank.
+			rank := int(x + y)
+			size := int64(float64(1<<20) / float64((rank+1)*(rank+1)))
+			size += rng.Int63n(1024)
+			out = append(out, chunkAt(x, y, size))
+		}
+	}
+	return out
+}
+
+// build constructs a scheme for tests, with Append capacity sized so a few
+// spills happen.
+func build(t *testing.T, kind string, initial []NodeID) Partitioner {
+	t.Helper()
+	p, err := New(kind, initial, grid16(), Options{NodeCapacity: 4 << 20, UniformHeight: 6})
+	if err != nil {
+		t.Fatalf("New(%s): %v", kind, err)
+	}
+	return p
+}
+
+func fmtLoads(loads []float64) string {
+	return fmt.Sprintf("%v (rsd %.2f)", loads, stats.RSD(loads))
+}

@@ -1,0 +1,278 @@
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/array"
+)
+
+// kdNode is a node of the K-d partitioning tree: either a split plane
+// (dim/at, with children) or a leaf owning a box and a cluster node.
+type kdNode struct {
+	box   Box
+	depth int
+	// Internal nodes.
+	dim         int
+	at          int64
+	left, right *kdNode
+	// Leaves.
+	leaf bool
+	node NodeID
+}
+
+// KdTree range-partitions the chunk grid with a k-d tree (Bentley [9] in
+// the paper). Each cluster node is one leaf. When the cluster scales out,
+// the most heavily burdened leaf is split at the *storage median* along the
+// next dimension in cyclic order, and the upper half's chunks move to the
+// new node — the most surgical of the incremental schemes, which is why the
+// paper finds it fastest end to end.
+type KdTree struct {
+	geom Geometry
+	root *kdNode
+	// midpointSplit is the ablation switch: split blindly at the
+	// geometric midpoint instead of the storage median, discarding
+	// skew-awareness (used by the ablation bench, not the paper).
+	midpointSplit bool
+}
+
+// NewKdTree builds the tree over geom with one leaf per initial node.
+// Since no data exists yet, the initial splits are geometric midpoints
+// cycling through the dimensions (the paper's Figure 2 starts the same
+// way: the first cut is the x midpoint).
+func NewKdTree(initial []NodeID, geom Geometry, midpointSplit bool) (*KdTree, error) {
+	if err := geom.Validate(); err != nil {
+		return nil, err
+	}
+	if len(initial) == 0 {
+		return nil, fmt.Errorf("partition: KdTree needs at least one initial node")
+	}
+	p := &KdTree{geom: geom, midpointSplit: midpointSplit}
+	p.root = &kdNode{box: RootBox(geom), leaf: true, node: initial[0]}
+	for _, n := range initial[1:] {
+		// Pre-split the leaf with the largest volume at its midpoint.
+		leaf := p.largestLeaf()
+		if err := p.splitLeaf(leaf, n, nil); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// Name implements Partitioner.
+func (p *KdTree) Name() string { return "K-d Tree" }
+
+// Features implements Partitioner: incremental, skew-aware, n-dimensional
+// (skew-awareness is forfeited under the midpoint ablation but the Table 1
+// row describes the paper's algorithm).
+func (p *KdTree) Features() Features {
+	return Features{IncrementalScaleOut: true, SkewAware: !p.midpointSplit, NDimensionalClustering: true}
+}
+
+// Place implements Partitioner: walk the tree comparing the chunk's
+// coordinate with each split plane — logarithmic in the node count.
+func (p *KdTree) Place(info array.ChunkInfo, st State) NodeID {
+	return p.locate(p.geom.Clamp(info.Ref.Coords)).node
+}
+
+func (p *KdTree) locate(cc array.ChunkCoord) *kdNode {
+	n := p.root
+	for !n.leaf {
+		if cc[n.dim] < n.at {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n
+}
+
+// leaves returns all leaves in deterministic (in-order) sequence.
+func (p *KdTree) leaves() []*kdNode {
+	var out []*kdNode
+	var walk func(n *kdNode)
+	walk = func(n *kdNode) {
+		if n.leaf {
+			out = append(out, n)
+			return
+		}
+		walk(n.left)
+		walk(n.right)
+	}
+	walk(p.root)
+	return out
+}
+
+func (p *KdTree) largestLeaf() *kdNode {
+	var best *kdNode
+	for _, l := range p.leaves() {
+		if best == nil || l.box.Volume() > best.box.Volume() {
+			best = l
+		}
+	}
+	return best
+}
+
+func (p *KdTree) leafOf(node NodeID) (*kdNode, error) {
+	for _, l := range p.leaves() {
+		if l.node == node {
+			return l, nil
+		}
+	}
+	return nil, fmt.Errorf("partition: node %d owns no k-d tree leaf", node)
+}
+
+// splitLeaf turns the leaf into an internal node, keeping the lower half
+// with the old owner and giving the upper half to newNode. chunks (may be
+// nil) provides the storage distribution for the median; with no data the
+// cut falls at the geometric midpoint. The split dimension cycles with
+// leaf depth, skipping dimensions that are only one chunk wide.
+func (p *KdTree) splitLeaf(leaf *kdNode, newNode NodeID, chunks []array.ChunkInfo) error {
+	// Cycle through the spatial dimensions by leaf depth; fall back to
+	// any splittable dimension (including a growth axis) only when the
+	// spatial ones are exhausted.
+	spatial := p.geom.spatialDims()
+	dim := -1
+	for k := 0; k < len(spatial); k++ {
+		d := spatial[(leaf.depth+k)%len(spatial)]
+		if leaf.box.Splittable(d) {
+			dim = d
+			break
+		}
+	}
+	if dim < 0 {
+		nd := leaf.box.Dims()
+		for k := 0; k < nd; k++ {
+			d := (leaf.depth + k) % nd
+			if leaf.box.Splittable(d) {
+				dim = d
+				break
+			}
+		}
+	}
+	if dim < 0 {
+		return fmt.Errorf("partition: k-d leaf %v cannot be split further", leaf.box)
+	}
+	at := p.splitPoint(leaf.box, dim, chunks)
+	lower, upper := leaf.box.SplitAt(dim, at)
+	leaf.leaf = false
+	leaf.dim = dim
+	leaf.at = at
+	leaf.left = &kdNode{box: lower, depth: leaf.depth + 1, leaf: true, node: leaf.node}
+	leaf.right = &kdNode{box: upper, depth: leaf.depth + 1, leaf: true, node: newNode}
+	return nil
+}
+
+// splitPoint picks the cut coordinate: the storage median of the chunks in
+// the box along dim (the plane with roughly half the bytes on either
+// side), or the geometric midpoint when there is no data or the ablation
+// switch is on.
+func (p *KdTree) splitPoint(box Box, dim int, chunks []array.ChunkInfo) int64 {
+	mid := box.Lo[dim] + box.Span(dim)/2
+	if mid == box.Lo[dim] {
+		mid = box.Lo[dim] + 1
+	}
+	if p.midpointSplit || len(chunks) == 0 {
+		return mid
+	}
+	type slab struct {
+		coord int64
+		size  int64
+	}
+	bySlab := make(map[int64]int64)
+	var total int64
+	for _, info := range chunks {
+		cc := p.geom.Clamp(info.Ref.Coords)
+		if !box.Contains(cc) {
+			continue
+		}
+		bySlab[cc[dim]] += info.Size
+		total += info.Size
+	}
+	if total == 0 || len(bySlab) < 2 {
+		return mid
+	}
+	slabs := make([]slab, 0, len(bySlab))
+	for c, s := range bySlab {
+		slabs = append(slabs, slab{coord: c, size: s})
+	}
+	sort.Slice(slabs, func(i, j int) bool { return slabs[i].coord < slabs[j].coord })
+	var acc int64
+	for i, s := range slabs {
+		acc += s.size
+		if acc >= total/2 {
+			at := s.coord + 1 // cut after this slab
+			if i == len(slabs)-1 {
+				at = s.coord // all mass in the tail: cut before it
+			}
+			if at <= box.Lo[dim] {
+				at = box.Lo[dim] + 1
+			}
+			if at >= box.Hi[dim] {
+				at = box.Hi[dim] - 1
+			}
+			if at <= box.Lo[dim] {
+				return mid
+			}
+			return at
+		}
+	}
+	return mid
+}
+
+// AddNodes implements Partitioner. For each new node: split the most
+// heavily burdened node's leaf at the storage median along the cyclic
+// dimension; the chunks in the upper half move to the new node.
+func (p *KdTree) AddNodes(newNodes []NodeID, st State) ([]Move, error) {
+	if err := validateNewNodes(newNodes, st); err != nil {
+		return nil, err
+	}
+	chunks := allChunks(st)
+	// Planned loads under the evolving tree.
+	load := make(map[NodeID]int64)
+	for _, n := range st.Nodes() {
+		load[n] = 0
+	}
+	for _, info := range chunks {
+		load[p.locate(p.geom.Clamp(info.Ref.Coords)).node] += info.Size
+	}
+	for _, newNode := range newNodes {
+		// Walk candidates by descending load: the hottest node's leaf
+		// can be a single chunk slot, which cannot be split — fall back
+		// to the next most burdened splittable leaf.
+		var split *kdNode
+		var victim NodeID
+		for _, cand := range nodesByLoadDesc(load) {
+			leaf, err := p.leafOf(cand)
+			if err != nil {
+				return nil, err
+			}
+			if err := p.splitLeaf(leaf, newNode, chunks); err == nil {
+				split, victim = leaf, cand
+				break
+			}
+		}
+		if split == nil {
+			return nil, fmt.Errorf("partition: no k-d leaf can absorb node %d (grid exhausted)", newNode)
+		}
+		var moved int64
+		for _, info := range chunks {
+			cc := p.geom.Clamp(info.Ref.Coords)
+			if split.right.box.Contains(cc) {
+				moved += info.Size
+			}
+		}
+		load[victim] -= moved
+		load[newNode] = moved
+	}
+	var moves []Move
+	for _, info := range chunks {
+		want := p.locate(p.geom.Clamp(info.Ref.Coords)).node
+		cur, _ := st.Owner(info.Ref)
+		if cur != want {
+			moves = append(moves, Move{Ref: info.Ref, From: cur, To: want, Size: info.Size})
+		}
+	}
+	sortMoves(moves)
+	return moves, nil
+}

@@ -1,0 +1,270 @@
+// Package partition implements the paper's eight elastic data-placement
+// schemes for multidimensional arrays (Section 4): Append, Consistent Hash,
+// Extendible Hash, Hilbert Curve, Incremental Quadtree, K-d Tree, Uniform
+// Range, and the Round Robin baseline.
+//
+// A Partitioner makes two kinds of decisions. During ingest, Place picks the
+// destination node for each new chunk. When the cluster scales out, AddNodes
+// integrates the fresh nodes into the partitioning table and returns an
+// explicit migration plan. Incremental schemes produce plans that move
+// chunks only from preexisting nodes to new ones; the global schemes (Round
+// Robin, Uniform Range) may reshuffle arbitrarily — exactly the trade-off
+// Table 1 of the paper taxonomises.
+//
+// Partitioners never touch chunk payloads: they see array.ChunkInfo
+// (identity, grid position, physical size) and a read-only State view of
+// current placement, and they keep whatever internal table (hash ring,
+// bucket directory, region tree, …) their algorithm requires.
+package partition
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"repro/internal/array"
+)
+
+// NodeID identifies a cluster node. IDs are dense and ascending in the
+// order nodes were provisioned, which the global schemes exploit.
+type NodeID int
+
+// Move is one chunk relocation in a migration plan.
+type Move struct {
+	Ref  array.ChunkRef
+	From NodeID
+	To   NodeID
+	Size int64
+}
+
+// State is the read-only view of current physical placement a partitioner
+// consults when making decisions. The cluster implements it.
+type State interface {
+	// Nodes returns the IDs of all nodes currently in the cluster, in
+	// ascending order, excluding any nodes being added in the current
+	// AddNodes call.
+	Nodes() []NodeID
+	// NodeLoad returns the bytes stored on the node.
+	NodeLoad(NodeID) int64
+	// NodeChunks returns the chunks resident on the node in canonical
+	// (array, coordinate) order.
+	NodeChunks(NodeID) []array.ChunkInfo
+	// Owner returns the node currently holding the chunk.
+	Owner(array.ChunkRef) (NodeID, bool)
+}
+
+// Features is the Table 1 taxonomy: which of the four elastic-placement
+// traits a scheme implements.
+type Features struct {
+	// IncrementalScaleOut: reorganisation sends data only from
+	// preexisting nodes to new ones.
+	IncrementalScaleOut bool
+	// FineGrained: chunks are assigned one at a time rather than by
+	// subdividing planes of array space.
+	FineGrained bool
+	// SkewAware: repartitioning decisions consult the observed storage
+	// footprint rather than logical chunk counts.
+	SkewAware bool
+	// NDimensionalClustering: contiguous chunks in array space tend to
+	// be collocated, aiding spatial queries.
+	NDimensionalClustering bool
+}
+
+// Count returns how many of the four traits are set (the number of X marks
+// in the scheme's Table 1 row).
+func (f Features) Count() int {
+	n := 0
+	for _, b := range []bool{f.IncrementalScaleOut, f.FineGrained, f.SkewAware, f.NDimensionalClustering} {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// Partitioner is an elastic data-placement scheme.
+type Partitioner interface {
+	// Name returns the scheme's display name as used in the paper's
+	// figures ("K-d Tree", "Round Robin", …).
+	Name() string
+	// Features returns the scheme's Table 1 row.
+	Features() Features
+	// Place picks the destination node for a chunk being ingested and
+	// updates the scheme's internal table. The chunk is new: it is not
+	// yet visible in st.
+	Place(info array.ChunkInfo, st State) NodeID
+	// AddNodes integrates newly provisioned nodes into the partitioning
+	// table and returns the migration plan that brings physical
+	// placement in line with the revised table. newNodes are not yet
+	// visible in st.Nodes().
+	AddNodes(newNodes []NodeID, st State) ([]Move, error)
+}
+
+// Geometry describes the chunk grid the spatial partitioners divide: the
+// number of chunk slots along each dimension. Unbounded dimensions are
+// given a planning horizon by the caller (e.g. the number of workload
+// cycles); chunks arriving beyond it are clamped to the final slab.
+type Geometry struct {
+	Extents []int64
+	// SpatialDims lists the dimensions the range partitioners divide
+	// (split planes, quarters, space-filling order). Empty means all.
+	//
+	// Arrays that grow along an unbounded dimension (time series) must
+	// exclude that dimension: a range cut through the growth axis sends
+	// every future insert to the last partition, destroying balance
+	// between scale-outs. Excluding it gives each node a region of
+	// array space that receives its proportional share of every new
+	// slab — each partition holds all of time for its region, which is
+	// the "evenly distribute the time dimension" behaviour the paper
+	// credits the skew-aware range partitioners with (Section 6.2.2).
+	SpatialDims []int
+}
+
+// Validate checks the geometry is usable.
+func (g Geometry) Validate() error {
+	if len(g.Extents) == 0 {
+		return fmt.Errorf("partition: geometry needs at least one dimension")
+	}
+	for i, e := range g.Extents {
+		if e <= 0 {
+			return fmt.Errorf("partition: geometry extent %d = %d must be positive", i, e)
+		}
+	}
+	seen := make(map[int]bool)
+	for _, d := range g.SpatialDims {
+		if d < 0 || d >= len(g.Extents) {
+			return fmt.Errorf("partition: spatial dim %d out of range", d)
+		}
+		if seen[d] {
+			return fmt.Errorf("partition: spatial dim %d repeated", d)
+		}
+		seen[d] = true
+	}
+	return nil
+}
+
+// spatialDims returns the configured spatial dimensions, defaulting to all.
+func (g Geometry) spatialDims() []int {
+	if len(g.SpatialDims) > 0 {
+		return g.SpatialDims
+	}
+	out := make([]int, len(g.Extents))
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// growthDims returns the dimensions not listed as spatial, in index order.
+func (g Geometry) growthDims() []int {
+	spatial := make(map[int]bool)
+	for _, d := range g.spatialDims() {
+		spatial[d] = true
+	}
+	var out []int
+	for i := range g.Extents {
+		if !spatial[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Clamp forces a chunk coordinate into the grid, mapping overflow on any
+// axis to the last slab (and negative indexes to the first).
+func (g Geometry) Clamp(cc array.ChunkCoord) array.ChunkCoord {
+	out := cc.Clone()
+	for i := range out {
+		if i >= len(g.Extents) {
+			break
+		}
+		if out[i] < 0 {
+			out[i] = 0
+		}
+		if out[i] >= g.Extents[i] {
+			out[i] = g.Extents[i] - 1
+		}
+	}
+	return out
+}
+
+// hashRef hashes a chunk's grid position to a well-dispersed 64-bit value.
+// Both hash partitioners derive their bucket/circle position from it.
+//
+// Only the coordinates are hashed, not the array name: SciDB-style
+// placement assigns chunks by position, so equal positions of congruent
+// arrays (Band1/Band2) land on the same node and the structural join of
+// Section 3.3 needs no shuffling — the behaviour Figure 6 shows for every
+// non-Append scheme.
+func hashRef(ref array.ChunkRef) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(ref.Coords.Key()))
+	x := h.Sum64()
+	// splitmix64 finalizer: near-identical keys (neighbouring chunk
+	// coordinates) must not land on correlated positions.
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// mostLoaded returns the node with the largest storage footprint, breaking
+// ties by lowest ID so decisions are deterministic.
+func mostLoaded(nodes []NodeID, st State) NodeID {
+	if len(nodes) == 0 {
+		panic("partition: mostLoaded over no nodes")
+	}
+	best := nodes[0]
+	bestLoad := st.NodeLoad(best)
+	for _, n := range nodes[1:] {
+		l := st.NodeLoad(n)
+		if l > bestLoad {
+			best, bestLoad = n, l
+		}
+	}
+	return best
+}
+
+// validateNewNodes rejects empty or duplicate additions and additions of
+// nodes already present.
+func validateNewNodes(newNodes []NodeID, st State) error {
+	if len(newNodes) == 0 {
+		return fmt.Errorf("partition: AddNodes with no nodes")
+	}
+	existing := make(map[NodeID]bool)
+	for _, n := range st.Nodes() {
+		existing[n] = true
+	}
+	seen := make(map[NodeID]bool)
+	for _, n := range newNodes {
+		if existing[n] {
+			return fmt.Errorf("partition: node %d already in cluster", n)
+		}
+		if seen[n] {
+			return fmt.Errorf("partition: node %d added twice", n)
+		}
+		seen[n] = true
+	}
+	return nil
+}
+
+// allChunks gathers every resident chunk across the cluster in canonical
+// order.
+func allChunks(st State) []array.ChunkInfo {
+	var out []array.ChunkInfo
+	for _, n := range st.Nodes() {
+		out = append(out, st.NodeChunks(n)...)
+	}
+	array.SortChunkInfos(out)
+	return out
+}
+
+// sortMoves orders a migration plan canonically (by chunk key) so plans are
+// reproducible run to run.
+func sortMoves(moves []Move) {
+	sort.Slice(moves, func(i, j int) bool {
+		return moves[i].Ref.Key() < moves[j].Ref.Key()
+	})
+}

@@ -1,0 +1,74 @@
+package partition
+
+import (
+	"repro/internal/array"
+)
+
+// RoundRobin is the paper's baseline (Section 6.1): "to find chunk i in
+// one of k nodes, Round Robin calculates i modulus k", where i is the
+// chunk's linearized (row-major) position in the chunk grid. Every node
+// gets an equal share of the logical chunks and congruent arrays collocate
+// equal positions, but the scheme is neither incremental — changing k
+// relocates most chunks — nor skew-aware, since physical sizes are
+// ignored.
+type RoundRobin struct {
+	geom  Geometry
+	nodes []NodeID
+}
+
+// NewRoundRobin returns the baseline partitioner over the initial nodes
+// and chunk grid.
+func NewRoundRobin(initial []NodeID, geom Geometry) (*RoundRobin, error) {
+	if err := geom.Validate(); err != nil {
+		return nil, err
+	}
+	return &RoundRobin{
+		geom:  geom,
+		nodes: append([]NodeID(nil), initial...),
+	}, nil
+}
+
+// Name implements Partitioner.
+func (p *RoundRobin) Name() string { return "Round Robin" }
+
+// Features implements Partitioner. Round Robin's only Table 1 trait is
+// fine-grained, chunk-at-a-time placement.
+func (p *RoundRobin) Features() Features {
+	return Features{FineGrained: true}
+}
+
+// index linearizes the (clamped) chunk coordinate row-major.
+func (p *RoundRobin) index(cc array.ChunkCoord) int64 {
+	cc = p.geom.Clamp(cc)
+	var idx int64
+	for d, e := range p.geom.Extents {
+		idx = idx*e + cc[d]
+	}
+	return idx
+}
+
+// Place implements Partitioner: circular assignment by grid position.
+func (p *RoundRobin) Place(info array.ChunkInfo, st State) NodeID {
+	return p.nodes[p.index(info.Ref.Coords)%int64(len(p.nodes))]
+}
+
+// AddNodes implements Partitioner. The modulus changes, so nearly every
+// chunk's home changes: a global reorganisation in which data moves
+// between preexisting nodes as well as to the new ones.
+func (p *RoundRobin) AddNodes(newNodes []NodeID, st State) ([]Move, error) {
+	if err := validateNewNodes(newNodes, st); err != nil {
+		return nil, err
+	}
+	p.nodes = append(p.nodes, newNodes...)
+	k := int64(len(p.nodes))
+	var moves []Move
+	for _, info := range allChunks(st) {
+		want := p.nodes[p.index(info.Ref.Coords)%k]
+		cur, _ := st.Owner(info.Ref)
+		if cur != want {
+			moves = append(moves, Move{Ref: info.Ref, From: cur, To: want, Size: info.Size})
+		}
+	}
+	sortMoves(moves)
+	return moves, nil
+}

@@ -1,0 +1,44 @@
+package provision
+
+import "testing"
+
+func BenchmarkTuneS(b *testing.B) {
+	hist := make([]float64, 64)
+	for i := range hist {
+		hist[i] = float64(i) * 100
+		if i%2 == 0 {
+			hist[i] += 13
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := TuneS(hist, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEstimateCost(b *testing.B) {
+	params := baseParams()
+	params.M = 32
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EstimateCost(params, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkControllerPlan(b *testing.B) {
+	c, err := NewController(4, 3, 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		c.Observe(float64(i) * 45)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.Plan(8)
+	}
+}

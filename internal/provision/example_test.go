@@ -1,0 +1,40 @@
+package provision_test
+
+import (
+	"fmt"
+
+	"repro/internal/provision"
+)
+
+// ExampleController walks the leading staircase through three workload
+// cycles of growing demand on 100-unit nodes.
+func ExampleController() {
+	ctrl, err := provision.NewController(2, 3, 100)
+	if err != nil {
+		panic(err)
+	}
+	nodes := 2
+	for _, demand := range []float64{120, 180, 230} {
+		ctrl.Observe(demand)
+		k := ctrl.Plan(nodes)
+		nodes += k
+		fmt.Printf("demand %v -> +%d nodes (now %d)\n", demand, k, nodes)
+	}
+	// Output:
+	// demand 120 -> +0 nodes (now 2)
+	// demand 180 -> +0 nodes (now 2)
+	// demand 230 -> +2 nodes (now 4)
+}
+
+// ExampleTuneS fits the sampling window to a perfectly linear demand
+// curve: every window predicts exactly, so the smallest wins the tie.
+func ExampleTuneS() {
+	curve := []float64{100, 200, 300, 400, 500, 600, 700}
+	s, errs, err := provision.TuneS(curve, 3)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("s=%d errors=%v\n", s, errs)
+	// Output:
+	// s=1 errors=[0 0 0]
+}

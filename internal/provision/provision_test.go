@@ -1,0 +1,334 @@
+package provision
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewControllerValidation(t *testing.T) {
+	if _, err := NewController(0, 1, 100); err == nil {
+		t.Error("s=0 should fail")
+	}
+	if _, err := NewController(1, 0, 100); err == nil {
+		t.Error("p=0 should fail")
+	}
+	if _, err := NewController(1, 1, 0); err == nil {
+		t.Error("capacity=0 should fail")
+	}
+	if _, err := NewController(4, 3, 100); err != nil {
+		t.Errorf("valid controller rejected: %v", err)
+	}
+}
+
+func TestPlanUnderCapacityIsZero(t *testing.T) {
+	c, _ := NewController(2, 3, 100)
+	c.Observe(50)
+	if k := c.Plan(1); k != 0 {
+		t.Errorf("Plan under capacity = %d, want 0", k)
+	}
+	// No observations at all: nothing to plan from.
+	c2, _ := NewController(2, 3, 100)
+	if k := c2.Plan(1); k != 0 {
+		t.Errorf("Plan without history = %d, want 0", k)
+	}
+}
+
+func TestPlanProportionalOnly(t *testing.T) {
+	// One observation: derivative unknown (0), so k covers only the
+	// proportional overshoot. 250 demand on 1×100 capacity → pi = 150 →
+	// k = ceil(150/100) = 2.
+	c, _ := NewController(2, 3, 100)
+	c.Observe(250)
+	if k := c.Plan(1); k != 2 {
+		t.Errorf("Plan = %d, want 2", k)
+	}
+}
+
+func TestPlanAddsDerivativeForecast(t *testing.T) {
+	// Demand grows 50/cycle; with p=3 the forecast term adds 150 on top
+	// of the 10 overshoot: k = ceil(160/100) = 2. With p=1 only 50+10:
+	// k = 1.
+	eager, _ := NewController(1, 3, 100)
+	lazy, _ := NewController(1, 1, 100)
+	for _, l := range []float64{10, 60, 110} {
+		eager.Observe(l)
+		lazy.Observe(l)
+	}
+	if k := eager.Plan(1); k != 2 {
+		t.Errorf("eager Plan = %d, want 2", k)
+	}
+	if k := lazy.Plan(1); k != 1 {
+		t.Errorf("lazy Plan = %d, want 1", k)
+	}
+}
+
+func TestPlanAtExactCapacityStepsByOne(t *testing.T) {
+	c, _ := NewController(2, 1, 100)
+	c.Observe(100)
+	c.Observe(100) // flat growth, exactly full
+	if k := c.Plan(1); k != 1 {
+		t.Errorf("Plan at exact capacity = %d, want 1", k)
+	}
+}
+
+func TestDerivativeWindows(t *testing.T) {
+	c, _ := NewController(3, 1, 100)
+	c.Observe(0)
+	if c.Derivative() != 0 {
+		t.Error("derivative of one sample must be 0")
+	}
+	c.Observe(10) // only 1 interval available though S=3
+	if got := c.Derivative(); got != 10 {
+		t.Errorf("short-history derivative = %v, want 10", got)
+	}
+	c.Observe(30)
+	c.Observe(60)
+	// Full window: (60 - 0)/3 = 20.
+	if got := c.Derivative(); got != 20 {
+		t.Errorf("derivative = %v, want 20", got)
+	}
+}
+
+func TestPlanNeverNegative(t *testing.T) {
+	f := func(raw []uint16, nodes uint8) bool {
+		c, _ := NewController(2, 3, 100)
+		for _, v := range raw {
+			c.Observe(float64(v))
+		}
+		n := int(nodes%8) + 1
+		return c.Plan(n) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPlanHeterogeneous(t *testing.T) {
+	// A cluster of one 100-unit and one 50-unit node (total 150) facing
+	// demand 220: overshoot 70, no derivative history beyond one
+	// interval of 120. With p=1 and 80-unit additions:
+	// k = ceil((70 + 120)/80) = 3.
+	c, _ := NewController(1, 1, 100)
+	c.Observe(100)
+	c.Observe(220)
+	if k := c.PlanHeterogeneous(150, 80); k != 3 {
+		t.Errorf("PlanHeterogeneous = %d, want 3", k)
+	}
+	// Under capacity: nothing to do.
+	if k := c.PlanHeterogeneous(500, 80); k != 0 {
+		t.Errorf("under-capacity plan = %d, want 0", k)
+	}
+	// Degenerate new-node capacity: refuse to plan.
+	if k := c.PlanHeterogeneous(150, 0); k != 0 {
+		t.Errorf("zero-capacity plan = %d, want 0", k)
+	}
+	// The homogeneous Plan is the special case.
+	c2, _ := NewController(1, 1, 100)
+	c2.Observe(100)
+	c2.Observe(220)
+	if c2.Plan(2) != c2.PlanHeterogeneous(200, 100) {
+		t.Error("Plan must equal PlanHeterogeneous on a homogeneous cluster")
+	}
+}
+
+func TestTuneSPrefersLongWindowOnSteadyGrowth(t *testing.T) {
+	// Linear growth with alternating noise: longer windows average the
+	// noise out, so larger s wins — the MODIS pattern in Table 2.
+	var hist []float64
+	for i := 0; i < 24; i++ {
+		noise := 8.0
+		if i%2 == 0 {
+			noise = -8.0
+		}
+		hist = append(hist, 50*float64(i)+noise)
+	}
+	best, errs, err := TuneS(hist, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best < 2 {
+		t.Errorf("steady growth should prefer s >= 2, got %d (errors %v)", best, errs)
+	}
+	if errs[best-1] > errs[0] {
+		t.Error("winner must not have higher error than s=1")
+	}
+}
+
+func TestTuneSPrefersShortWindowOnRegimeShifts(t *testing.T) {
+	// Demand whose growth rate keeps changing (the AIS seasonal
+	// pattern): only the most recent interval predicts the next one.
+	hist := []float64{0, 10, 20, 60, 100, 110, 120, 180, 240, 250, 260, 330, 400, 410}
+	cum := make([]float64, len(hist))
+	copy(cum, hist)
+	best, _, err := TuneS(cum, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best > 2 {
+		t.Errorf("shifting growth should prefer small s, got %d", best)
+	}
+}
+
+func TestTuneSValidation(t *testing.T) {
+	if _, _, err := TuneS([]float64{1, 2}, 4); err == nil {
+		t.Error("too-short history should fail")
+	}
+	if _, _, err := TuneS([]float64{1, 2, 3, 4}, 0); err == nil {
+		t.Error("psi=0 should fail")
+	}
+	// psi larger than the history can support: long candidates are
+	// penalised but short ones still win.
+	best, _, err := TuneS([]float64{0, 10, 20, 30}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best != 1 {
+		t.Errorf("only s=1 is scoreable here, got %d", best)
+	}
+}
+
+func TestPredictionErrorExactOnLinear(t *testing.T) {
+	// Perfectly linear demand: every s predicts exactly; error 0.
+	var hist []float64
+	for i := 0; i < 10; i++ {
+		hist = append(hist, 100*float64(i))
+	}
+	for s := 1; s <= 4; s++ {
+		e, err := PredictionError(hist, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e != 0 {
+			t.Errorf("s=%d error %v on linear history, want 0", s, e)
+		}
+	}
+	if _, err := PredictionError(hist, 0); err == nil {
+		t.Error("s=0 should fail")
+	}
+	if _, err := PredictionError([]float64{1, 2}, 1); err == nil {
+		t.Error("insufficient history should fail")
+	}
+}
+
+func baseParams() CostParams {
+	return CostParams{
+		DeltaSecPerUnit:  1,
+		TSecPerUnit:      2.5,
+		NodeCapacity:     100,
+		Mu:               45,
+		L0:               200,
+		W0:               120,
+		N0:               2,
+		M:                12,
+		ReorgFixedSec:    600,
+		CycleOverheadSec: 150,
+	}
+}
+
+func TestEstimateCostValidation(t *testing.T) {
+	p := baseParams()
+	if _, err := EstimateCost(p, 0); err == nil {
+		t.Error("p=0 should fail")
+	}
+	bad := p
+	bad.N0 = 0
+	if _, err := EstimateCost(bad, 1); err == nil {
+		t.Error("N0=0 should fail")
+	}
+	bad = p
+	bad.DeltaSecPerUnit = 0
+	if _, err := EstimateCost(bad, 1); err == nil {
+		t.Error("δ=0 should fail")
+	}
+	bad = p
+	bad.M = 0
+	if _, err := EstimateCost(bad, 1); err == nil {
+		t.Error("M=0 should fail")
+	}
+}
+
+func TestEstimateCostPositiveAndFinite(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 6, 10} {
+		cost, err := EstimateCost(baseParams(), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cost <= 0 || math.IsInf(cost, 0) || math.IsNaN(cost) {
+			t.Errorf("cost(p=%d) = %v", p, cost)
+		}
+	}
+}
+
+func TestEstimateCostModerateHorizonWins(t *testing.T) {
+	// The Table 3 shape: a lazy horizon reorganises every cycle, an
+	// over-eager one over-provisions; a moderate p is cheapest.
+	params := baseParams()
+	best, costs, err := TuneP(params, []int{1, 3, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best != 3 {
+		t.Errorf("best horizon = %d, want 3 (costs %v)", best, costs)
+	}
+	if !(costs[3] < costs[1] && costs[3] < costs[6]) {
+		t.Errorf("p=3 should be cheapest: %v", costs)
+	}
+}
+
+func TestEstimateCostClusterNeverShrinks(t *testing.T) {
+	// Even if the forecast undershoots the current size, N must not
+	// drop below N0.
+	params := baseParams()
+	params.N0 = 10
+	params.Mu = 1
+	params.L0 = 50
+	cost, err := EstimateCost(params, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 nodes for M cycles with tiny work: cost must be at least
+	// N0 * M * smallest per-cycle charge > 0.
+	if cost <= 0 {
+		t.Errorf("cost = %v", cost)
+	}
+}
+
+func TestTunePValidation(t *testing.T) {
+	if _, _, err := TuneP(baseParams(), nil); err == nil {
+		t.Error("no candidates should fail")
+	}
+	if _, _, err := TuneP(baseParams(), []int{0}); err == nil {
+		t.Error("invalid candidate should fail")
+	}
+}
+
+func TestNodeHours(t *testing.T) {
+	if NodeHours(7200) != 2 {
+		t.Errorf("NodeHours(7200) = %v, want 2", NodeHours(7200))
+	}
+}
+
+func TestStaircaseSimulation(t *testing.T) {
+	// Drive the controller over a monotone demand curve and check the
+	// staircase property: provisioned capacity is a non-decreasing step
+	// function that always ends a cycle at or above demand.
+	c, _ := NewController(4, 3, 100)
+	nodes := 2
+	demand := 0.0
+	for cycle := 0; cycle < 15; cycle++ {
+		demand += 45
+		c.Observe(demand)
+		k := c.Plan(nodes)
+		if k < 0 {
+			t.Fatalf("negative k at cycle %d", cycle)
+		}
+		nodes += k
+		if float64(nodes)*100 < demand {
+			t.Fatalf("cycle %d: provisioned %d×100 below demand %v", cycle, nodes, demand)
+		}
+	}
+	if nodes < 7 || nodes > 12 {
+		t.Errorf("15 cycles of 45/cycle on 100-unit nodes should land near 8-10 nodes, got %d", nodes)
+	}
+}

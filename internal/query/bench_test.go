@@ -1,0 +1,129 @@
+package query
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/workload"
+)
+
+// Shared bench fixtures: one MODIS and one AIS cluster, built once.
+var (
+	benchOnce  sync.Once
+	benchMODIS *cluster.Cluster
+	benchAIS   *cluster.Cluster
+)
+
+func benchClusters(b *testing.B) (*cluster.Cluster, *cluster.Cluster) {
+	b.Helper()
+	benchOnce.Do(func() {
+		m, err := workload.NewMODIS(workload.MODISConfig{Cycles: 4, BaseCells: 20})
+		if err != nil {
+			panic(err)
+		}
+		benchMODIS = buildCluster(b, m, "kdtree")
+		a, err := workload.NewAIS(workload.AISConfig{Cycles: 4, CellsPerCycle: 3000})
+		if err != nil {
+			panic(err)
+		}
+		benchAIS = buildCluster(b, a, "kdtree")
+	})
+	return benchMODIS, benchAIS
+}
+
+func BenchmarkSelectRegion(b *testing.B) {
+	m, _ := benchClusters(b)
+	s, _ := m.Schema("Band1")
+	region := FullRegion(s, 4*1440-1)
+	region.Hi[1] = -91
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SelectRegion(m, "Band1", region, []string{"radiance"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQuantile(b *testing.B) {
+	m, _ := benchClusters(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := Quantile(m, "Band1", "radiance", 0.5, 0.1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkJoinBands(b *testing.B) {
+	m, _ := benchClusters(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := JoinBands(m, "Band1", "Band2", "radiance", 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkJoinReplicated(b *testing.B) {
+	_, a := benchClusters(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := JoinReplicated(a, "Broadcast", "ship_id", "Vessel", 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGroupByAggregate(b *testing.B) {
+	_, a := benchClusters(b)
+	spec := GroupBySpec{
+		Array:      "Broadcast",
+		GroupDims:  []int{1, 2},
+		GroupScale: []int64{16, 16},
+		FilterAttr: "speed",
+		FilterMin:  1,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := GroupByAggregate(a, spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWindowAggregate(b *testing.B) {
+	m, _ := benchClusters(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := WindowAggregate(m, "Band1", "radiance", 3, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKMeans(b *testing.B) {
+	m, _ := benchClusters(b)
+	s, _ := m.Schema("Band1")
+	region := FullRegion(s, 4*1440-1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := KMeans(m, "Band1", "radiance", region, 4, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKNN(b *testing.B) {
+	_, a := benchClusters(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := KNN(a, "Broadcast", 3, 20, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCollisionProjection(b *testing.B) {
+	_, a := benchClusters(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := CollisionProjection(a, "Broadcast", 3, 15, 1.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

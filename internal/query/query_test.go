@@ -1,0 +1,429 @@
+package query
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/partition"
+	"repro/internal/workload"
+)
+
+// buildMODIS ingests a small MODIS workload under the given partitioner
+// and returns the cluster plus the last completed cycle index.
+func buildMODIS(t *testing.T, kind string, cycles int) (*cluster.Cluster, int) {
+	t.Helper()
+	gen, err := workload.NewMODIS(workload.MODISConfig{Cycles: cycles, BaseCells: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buildCluster(t, gen, kind), cycles - 1
+}
+
+func buildAIS(t *testing.T, kind string, cycles int) (*cluster.Cluster, int) {
+	t.Helper()
+	gen, err := workload.NewAIS(workload.AISConfig{Cycles: cycles, CellsPerCycle: 2500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buildCluster(t, gen, kind), cycles - 1
+}
+
+// buildCluster drives the cyclic workload (a minimal stand-in for the
+// core engine, which cannot be imported here without a cycle): scale out
+// by 2 whenever the incoming insert exceeds capacity, capped at 8 nodes.
+func buildCluster(t testing.TB, gen workload.Generator, kind string) *cluster.Cluster {
+	t.Helper()
+	_, total, err := workload.TotalBytes(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capacity := total/6 + 1
+	geom := gen.Geometry()
+	c, err := cluster.New(cluster.Config{
+		InitialNodes: 2,
+		NodeCapacity: capacity,
+		Partitioner: func(initial []partition.NodeID) (partition.Partitioner, error) {
+			return partition.New(kind, initial, geom, partition.Options{NodeCapacity: capacity})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range gen.Schemas() {
+		if err := c.DefineArray(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rs, rchunks := gen.Replicated(); rs != nil {
+		if _, err := c.ReplicateArray(rs, rchunks); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for cycle := 0; cycle < gen.Cycles(); cycle++ {
+		batch, err := gen.Batch(cycle)
+		if err != nil {
+			t.Fatal(err)
+		}
+		demand := c.TotalBytes() + workload.BatchBytes(batch)
+		if demand > c.Capacity() && c.NumNodes() < 8 {
+			k := 2
+			if c.NumNodes()+k > 8 {
+				k = 8 - c.NumNodes()
+			}
+			if _, err := c.ScaleOut(k); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := c.Insert(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestSelectRegionMatchesBruteForce(t *testing.T) {
+	c, _ := buildMODIS(t, "consistent", 3)
+	s, _ := c.Schema("Band1")
+	region := FullRegion(s, 3*1440-1)
+	region.Hi[1] = -91
+	region.Hi[2] = -46
+	res, err := SelectRegion(c, "Band1", region, []string{"radiance"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Brute force over every chunk on every node.
+	var want int64
+	for _, id := range c.Nodes() {
+		node, _ := c.Node(id)
+		for _, ch := range node.Chunks() {
+			if ch.Schema.Name != "Band1" {
+				continue
+			}
+			want += int64(len(ch.Filter(region.ContainsCell)))
+		}
+	}
+	if res.Cells != want {
+		t.Errorf("SelectRegion = %d cells, brute force %d", res.Cells, want)
+	}
+	if want == 0 {
+		t.Fatal("selection region should not be empty")
+	}
+	if res.Elapsed <= 0 || res.BytesScanned == 0 {
+		t.Error("selection must account time and bytes")
+	}
+	if res.BytesShuffled != 0 {
+		t.Error("selection is node-local; no shuffle expected")
+	}
+}
+
+func TestSelectRegionErrors(t *testing.T) {
+	c, _ := buildMODIS(t, "consistent", 2)
+	s, _ := c.Schema("Band1")
+	if _, err := SelectRegion(c, "Nope", FullRegion(s, 10), nil); err == nil {
+		t.Error("unknown array should fail")
+	}
+	bad := FullRegion(s, 10)
+	bad.Lo[1], bad.Hi[1] = 5, -5
+	if _, err := SelectRegion(c, "Band1", bad, nil); err == nil {
+		t.Error("inverted region should fail")
+	}
+	if _, err := SelectRegion(c, "Band1", FullRegion(s, 10), []string{"zz"}); err == nil {
+		t.Error("unknown attribute should fail")
+	}
+}
+
+func TestQuantilePlausible(t *testing.T) {
+	c, _ := buildMODIS(t, "consistent", 3)
+	res, err := Quantile(c, "Band1", "radiance", 0.5, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Radiance is ~cos(lat)*120*1.0..1.35 + noise: the median must land
+	// well inside (0, 250).
+	if res.Value < 10 || res.Value > 250 {
+		t.Errorf("median radiance = %v, implausible", res.Value)
+	}
+	if res.Cells == 0 || res.BytesShuffled == 0 {
+		t.Error("quantile must sample and ship cells")
+	}
+	if _, err := Quantile(c, "Band1", "radiance", 0.5, 0); err == nil {
+		t.Error("zero sample fraction should fail")
+	}
+}
+
+func TestJoinBandsComputesNDVI(t *testing.T) {
+	c, last := buildMODIS(t, "consistent", 3)
+	res, err := JoinBands(c, "Band1", "Band2", "radiance", int64(last))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cells == 0 {
+		t.Fatal("bands share positions; the join must match cells")
+	}
+	// Band2 radiance runs ~35% above Band1, so mean NDVI is positive
+	// and below 1.
+	if res.Value <= 0 || res.Value >= 1 {
+		t.Errorf("mean NDVI = %v, want in (0,1)", res.Value)
+	}
+}
+
+func TestJoinReplicatedJoinsEverything(t *testing.T) {
+	c, last := buildAIS(t, "consistent", 3)
+	res, err := JoinReplicated(c, "Broadcast", "ship_id", "Vessel", int64(last))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every broadcast's ship_id is in the vessel range, so the join
+	// yields one row per broadcast in the slab.
+	var want int64
+	for _, id := range c.Nodes() {
+		node, _ := c.Node(id)
+		for _, ch := range node.Chunks() {
+			if ch.Schema.Name == "Broadcast" && ch.Coords[0] == int64(last) {
+				want += int64(ch.Len())
+			}
+		}
+	}
+	if res.Cells != want {
+		t.Errorf("joined %d rows, want %d", res.Cells, want)
+	}
+	if res.BytesShuffled != 0 {
+		t.Error("replicated join must not shuffle")
+	}
+}
+
+func TestDistinctSorted(t *testing.T) {
+	c, _ := buildAIS(t, "consistent", 3)
+	res, err := DistinctSorted(c, "Broadcast", "ship_id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cells < 100 || res.Cells > 1500 {
+		t.Errorf("distinct ships = %d, want within fleet size", res.Cells)
+	}
+	if res.Value != 0 {
+		t.Errorf("smallest ship id = %v, want 0 (Zipf rank 0 always broadcasts)", res.Value)
+	}
+	if _, err := DistinctSorted(c, "Broadcast", "receiver_id"); err == nil {
+		t.Error("string attribute should be rejected")
+	}
+}
+
+func TestGroupByAggregateCounts(t *testing.T) {
+	c, _ := buildAIS(t, "consistent", 3)
+	res, err := GroupByAggregate(c, GroupBySpec{
+		Array:      "Broadcast",
+		GroupDims:  []int{1, 2},
+		GroupScale: []int64{16, 16},
+		FilterAttr: "speed",
+		FilterMin:  1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Brute force the moving-cell count.
+	var want int64
+	for _, id := range c.Nodes() {
+		node, _ := c.Node(id)
+		for _, ch := range node.Chunks() {
+			if ch.Schema.Name != "Broadcast" {
+				continue
+			}
+			speedIdx := ch.Schema.AttrIndex("speed")
+			for i := 0; i < ch.Len(); i++ {
+				if ch.AttrCols[speedIdx].Float64(i) >= 1 {
+					want++
+				}
+			}
+		}
+	}
+	if res.Cells != want {
+		t.Errorf("aggregated %d cells, want %d", res.Cells, want)
+	}
+	if _, err := GroupByAggregate(c, GroupBySpec{Array: "Broadcast"}); err == nil {
+		t.Error("missing group dims should fail")
+	}
+}
+
+func TestWindowAggregateCoversSlab(t *testing.T) {
+	c, last := buildMODIS(t, "kdtree", 3)
+	res, err := WindowAggregate(c, "Band1", "radiance", int64(last), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var slabCells int64
+	for _, id := range c.Nodes() {
+		node, _ := c.Node(id)
+		for _, ch := range node.Chunks() {
+			if ch.Schema.Name == "Band1" && ch.Coords[0] == int64(last) {
+				slabCells += int64(ch.Len())
+			}
+		}
+	}
+	if res.Cells != slabCells {
+		t.Errorf("window outputs %d, want one per slab cell %d", res.Cells, slabCells)
+	}
+	if res.Value <= 0 || math.IsNaN(res.Value) {
+		t.Errorf("window mean = %v", res.Value)
+	}
+}
+
+func TestWindowHaloShuffleSensitiveToClustering(t *testing.T) {
+	// The headline mechanism: a clustered partitioner keeps neighbour
+	// chunks local, so the windowed aggregate ships fewer halo bytes
+	// than under a scattering hash partitioner.
+	shuffled := func(kind string) int64 {
+		c, last := buildMODIS(t, kind, 3)
+		res, err := WindowAggregate(c, "Band1", "radiance", int64(last), 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.BytesShuffled
+	}
+	clustered := shuffled("kdtree")
+	scattered := shuffled("consistent")
+	if clustered >= scattered {
+		t.Errorf("kdtree halo bytes %d should beat consistent hash %d", clustered, scattered)
+	}
+}
+
+func TestKMeansConverges(t *testing.T) {
+	c, last := buildMODIS(t, "consistent", 3)
+	s, _ := c.Schema("Band1")
+	region := FullRegion(s, int64(last+1)*1440-1)
+	one, err := KMeans(c, "Band1", "radiance", region, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	six, err := KMeans(c, "Band1", "radiance", region, 4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if six.Value > one.Value {
+		t.Errorf("k-means inertia rose with iterations: %v -> %v", one.Value, six.Value)
+	}
+	if six.Cells != one.Cells {
+		t.Error("same region must yield same cell count")
+	}
+	if _, err := KMeans(c, "Band1", "radiance", region, 0, 1); err == nil {
+		t.Error("k=0 should fail")
+	}
+}
+
+func TestKNNDeterministicAndPositive(t *testing.T) {
+	c, last := buildAIS(t, "kdtree", 3)
+	a, err := KNN(c, "Broadcast", int64(last), 20, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := KNN(c, "Broadcast", int64(last), 20, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Value != b.Value || a.Elapsed != b.Elapsed {
+		t.Error("KNN must be deterministic")
+	}
+	if a.Value <= 0 {
+		t.Errorf("mean k-th distance = %v, want > 0", a.Value)
+	}
+	if a.Cells != 20 {
+		t.Errorf("ran %d queries, want 20", a.Cells)
+	}
+}
+
+func TestKNNShuffleSensitiveToClustering(t *testing.T) {
+	shuffled := func(kind string) int64 {
+		c, last := buildAIS(t, kind, 3)
+		res, err := KNN(c, "Broadcast", int64(last), 20, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.BytesShuffled
+	}
+	clustered := shuffled("kdtree")
+	scattered := shuffled("roundrobin")
+	if clustered >= scattered {
+		t.Errorf("kdtree KNN shuffle %d should beat round robin %d", clustered, scattered)
+	}
+}
+
+func TestCollisionProjection(t *testing.T) {
+	c, last := buildAIS(t, "consistent", 3)
+	res, err := CollisionProjection(c, "Broadcast", int64(last), 15, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ports are dense: some projected positions must collide.
+	if res.Cells == 0 {
+		t.Error("no candidate collisions in a port-skewed slab is implausible")
+	}
+	again, err := CollisionProjection(c, "Broadcast", int64(last), 15, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Cells != res.Cells {
+		t.Error("collision count must be deterministic")
+	}
+}
+
+func TestMODISSuiteRunsAllQueries(t *testing.T) {
+	c, last := buildMODIS(t, "kdtree", 3)
+	res, err := MODISSuite(c, last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []string{"selection", "sort", "join", "statistics", "modeling", "projection"} {
+		if _, ok := res.PerQuery[q]; !ok {
+			t.Errorf("suite missing query %q", q)
+		}
+	}
+	if res.SPJ <= 0 || res.Science <= 0 {
+		t.Error("suite durations must be positive")
+	}
+	if res.Total() != res.SPJ+res.Science {
+		t.Error("Total must sum the halves")
+	}
+}
+
+func TestAISSuiteRunsAllQueries(t *testing.T) {
+	c, last := buildAIS(t, "hilbert", 3)
+	res, err := AISSuite(c, last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []string{"selection", "sort", "join", "statistics", "modeling", "projection"} {
+		if _, ok := res.PerQuery[q]; !ok {
+			t.Errorf("suite missing query %q", q)
+		}
+	}
+	if res.PerQuery["selection"].Cells == 0 {
+		t.Error("port selection should match cells")
+	}
+}
+
+func TestRegionHelpers(t *testing.T) {
+	c, _ := buildMODIS(t, "consistent", 2)
+	s, _ := c.Schema("Band1")
+	r := FullRegion(s, 1439)
+	if err := r.Validate(s); err != nil {
+		t.Fatal(err)
+	}
+	if !r.ContainsCell([]int64{0, -180, -90}) {
+		t.Error("full region must contain the origin")
+	}
+	if r.ContainsCell([]int64{2000, 0, 0}) {
+		t.Error("region must respect the time cap")
+	}
+	sub := FullRegion(s, 1439)
+	sub.Lo[1], sub.Hi[1] = -180, -170
+	if !sub.IntersectsChunk(s, []int64{0, 0, 0}) {
+		t.Error("first lon chunk intersects the western strip")
+	}
+	if sub.IntersectsChunk(s, []int64{0, 5, 0}) {
+		t.Error("an eastern chunk must not intersect the western strip")
+	}
+}

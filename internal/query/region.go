@@ -1,0 +1,77 @@
+package query
+
+import (
+	"fmt"
+
+	"repro/internal/array"
+)
+
+// Region is an axis-aligned box in cell space, bounds inclusive, used by
+// selections and group-by restrictions. A dimension with Lo > Hi is
+// malformed; use the full declared range to mean "no restriction".
+type Region struct {
+	Lo, Hi array.Coord
+}
+
+// FullRegion covers the schema's entire declared space (unbounded
+// dimensions are capped at maxTime, the caller's data horizon).
+func FullRegion(s *array.Schema, maxTime int64) Region {
+	lo := make(array.Coord, len(s.Dims))
+	hi := make(array.Coord, len(s.Dims))
+	for i, d := range s.Dims {
+		lo[i] = d.Start
+		if d.Bounded() {
+			hi[i] = d.End
+		} else {
+			hi[i] = maxTime
+		}
+	}
+	return Region{Lo: lo, Hi: hi}
+}
+
+// Validate rejects malformed regions.
+func (r Region) Validate(s *array.Schema) error {
+	if len(r.Lo) != len(s.Dims) || len(r.Hi) != len(s.Dims) {
+		return fmt.Errorf("query: region arity %d/%d does not match schema %s (%d dims)", len(r.Lo), len(r.Hi), s.Name, len(s.Dims))
+	}
+	for i := range r.Lo {
+		if r.Lo[i] > r.Hi[i] {
+			return fmt.Errorf("query: region dim %d inverted [%d,%d]", i, r.Lo[i], r.Hi[i])
+		}
+	}
+	return nil
+}
+
+// ContainsCell reports whether the cell lies inside the region.
+func (r Region) ContainsCell(cell array.Coord) bool {
+	for i := range cell {
+		if cell[i] < r.Lo[i] || cell[i] > r.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IntersectsChunk reports whether any cell of the chunk can lie inside the
+// region (bounding-box test, used for chunk pruning before scanning).
+func (r Region) IntersectsChunk(s *array.Schema, cc array.ChunkCoord) bool {
+	lo, hi := s.ChunkBounds(cc)
+	for i := range lo {
+		if hi[i] < r.Lo[i] || lo[i] > r.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainsChunk reports whether the chunk's full extent lies inside the
+// region (such chunks need no per-cell filtering).
+func (r Region) ContainsChunk(s *array.Schema, cc array.ChunkCoord) bool {
+	lo, hi := s.ChunkBounds(cc)
+	for i := range lo {
+		if lo[i] < r.Lo[i] || hi[i] > r.Hi[i] {
+			return false
+		}
+	}
+	return true
+}

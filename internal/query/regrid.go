@@ -1,0 +1,126 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cluster"
+)
+
+// RegridSpec describes a regrid: aggregate a sparse array's cells into a
+// coarser, dense image (Section 3.3: the MODIS workload "regrid[s] the
+// sparse data into a coarser, dense image"). Every cell of one time slab
+// is binned by dividing its spatial coordinates by the cell factors; bins
+// average the attribute.
+type RegridSpec struct {
+	// Array is the source array (3-D: time × x × y).
+	Array string
+	// Attr is the attribute averaged into each output pixel.
+	Attr string
+	// TimeChunk selects the slab to regrid.
+	TimeChunk int64
+	// FactorX and FactorY are the coarsening factors in cells per output
+	// pixel along the two spatial dimensions.
+	FactorX, FactorY int64
+}
+
+// GridCell is one dense output pixel of a regrid.
+type GridCell struct {
+	X, Y  int64
+	Mean  float64
+	Count int64
+}
+
+// Regrid executes the spec: every node bins its resident cells locally and
+// ships its partial (sum, count) grid to the coordinator, which merges and
+// densifies. The output is small (the coarse image), so the operator is
+// bandwidth-cheap and parallelises like a group-by; it returns the dense
+// image rows in (x, y) order along with the usual accounting.
+func Regrid(c *cluster.Cluster, spec RegridSpec) ([]GridCell, Result, error) {
+	s, err := schemaOf(c, spec.Array)
+	if err != nil {
+		return nil, Result{}, err
+	}
+	if len(s.Dims) != 3 {
+		return nil, Result{}, fmt.Errorf("query: Regrid expects a 3-D array, %s has %d dims", spec.Array, len(s.Dims))
+	}
+	if spec.FactorX < 1 || spec.FactorY < 1 {
+		return nil, Result{}, fmt.Errorf("query: regrid factors must be >= 1")
+	}
+	attrIdx, err := attrIndexes(s, []string{spec.Attr})
+	if err != nil {
+		return nil, Result{}, err
+	}
+	type acc struct {
+		sum   float64
+		count int64
+	}
+	t := NewTracker(c)
+	global := make(map[[2]int64]*acc)
+	var cells int64
+	for _, id := range c.Nodes() {
+		node, _ := c.Node(id)
+		local := make(map[[2]int64]*acc)
+		for _, ch := range chunksOfArray(node, spec.Array) {
+			if ch.Coords[0] != spec.TimeChunk {
+				continue
+			}
+			t.IO(id, ch.ProjectedSizeBytes(attrIdx))
+			t.CPU(id, int64(ch.Len()))
+			col := ch.AttrCols[attrIdx[0]]
+			for i := 0; i < ch.Len(); i++ {
+				bin := [2]int64{
+					floorDiv(ch.DimCols[1][i], spec.FactorX),
+					floorDiv(ch.DimCols[2][i], spec.FactorY),
+				}
+				a, ok := local[bin]
+				if !ok {
+					a = &acc{}
+					local[bin] = a
+				}
+				a.sum += col.Float64(i)
+				a.count++
+				cells++
+			}
+		}
+		t.Net(int64(len(local)) * 32) // bin key + sum + count
+		for bin, a := range local {
+			g, ok := global[bin]
+			if !ok {
+				g = &acc{}
+				global[bin] = g
+			}
+			g.sum += a.sum
+			g.count += a.count
+		}
+	}
+	t.CPU(c.Coordinator(), int64(len(global)))
+	out := make([]GridCell, 0, len(global))
+	for bin, a := range global {
+		out = append(out, GridCell{X: bin[0], Y: bin[1], Mean: a.sum / float64(a.count), Count: a.count})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].X != out[j].X {
+			return out[i].X < out[j].X
+		}
+		return out[i].Y < out[j].Y
+	})
+	var grand float64
+	for _, g := range out {
+		grand += g.Mean
+	}
+	if len(out) > 0 {
+		grand /= float64(len(out))
+	}
+	return out, t.Finish(cells, grand), nil
+}
+
+// floorDiv divides rounding toward negative infinity, so negative
+// longitudes bin consistently.
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if (a%b != 0) && ((a < 0) != (b < 0)) {
+		q--
+	}
+	return q
+}

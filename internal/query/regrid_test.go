@@ -1,0 +1,98 @@
+package query
+
+import (
+	"testing"
+)
+
+func TestRegridDensifies(t *testing.T) {
+	c, last := buildMODIS(t, "consistent", 3)
+	grid, res, err := Regrid(c, RegridSpec{
+		Array:     "Band1",
+		Attr:      "radiance",
+		TimeChunk: int64(last),
+		FactorX:   24,
+		FactorY:   24,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grid) == 0 {
+		t.Fatal("regrid produced no pixels")
+	}
+	// Output is sorted and each pixel is a genuine average.
+	var total int64
+	for i, g := range grid {
+		if g.Count < 1 {
+			t.Fatalf("pixel (%d,%d) has no contributing cells", g.X, g.Y)
+		}
+		total += g.Count
+		if i > 0 {
+			prev := grid[i-1]
+			if g.X < prev.X || (g.X == prev.X && g.Y <= prev.Y) {
+				t.Fatal("pixels not in (x,y) order")
+			}
+		}
+	}
+	// Every slab cell lands in exactly one pixel.
+	var slabCells int64
+	for _, id := range c.Nodes() {
+		node, _ := c.Node(id)
+		for _, ch := range node.Chunks() {
+			if ch.Schema.Name == "Band1" && ch.Coords[0] == int64(last) {
+				slabCells += int64(ch.Len())
+			}
+		}
+	}
+	if total != slabCells {
+		t.Errorf("regrid binned %d cells, slab has %d", total, slabCells)
+	}
+	if res.Cells != slabCells {
+		t.Errorf("result cells = %d, want %d", res.Cells, slabCells)
+	}
+	// Radiance averages stay in the physical range.
+	if res.Value < 10 || res.Value > 250 {
+		t.Errorf("grand mean radiance %v implausible", res.Value)
+	}
+	if res.BytesShuffled == 0 {
+		t.Error("partials must cross the network")
+	}
+}
+
+func TestRegridCoarserFactorsFewerPixels(t *testing.T) {
+	c, last := buildMODIS(t, "kdtree", 2)
+	fine, _, err := Regrid(c, RegridSpec{Array: "Band1", Attr: "radiance", TimeChunk: int64(last), FactorX: 12, FactorY: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarse, _, err := Regrid(c, RegridSpec{Array: "Band1", Attr: "radiance", TimeChunk: int64(last), FactorX: 60, FactorY: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(coarse) >= len(fine) {
+		t.Errorf("coarser regrid should have fewer pixels: %d vs %d", len(coarse), len(fine))
+	}
+}
+
+func TestRegridValidation(t *testing.T) {
+	c, _ := buildMODIS(t, "consistent", 2)
+	if _, _, err := Regrid(c, RegridSpec{Array: "Nope", Attr: "radiance", FactorX: 2, FactorY: 2}); err == nil {
+		t.Error("unknown array should fail")
+	}
+	if _, _, err := Regrid(c, RegridSpec{Array: "Band1", Attr: "zz", FactorX: 2, FactorY: 2}); err == nil {
+		t.Error("unknown attribute should fail")
+	}
+	if _, _, err := Regrid(c, RegridSpec{Array: "Band1", Attr: "radiance", FactorX: 0, FactorY: 2}); err == nil {
+		t.Error("zero factor should fail")
+	}
+}
+
+func TestFloorDiv(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{7, 2, 3}, {-7, 2, -4}, {-4, 2, -2}, {0, 5, 0}, {-1, 3, -1},
+	}
+	for _, c := range cases {
+		if got := floorDiv(c.a, c.b); got != c.want {
+			t.Errorf("floorDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,653 @@
+package query
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/array"
+	"repro/internal/cluster"
+	"repro/internal/partition"
+)
+
+// GroupBySpec describes a group-by aggregate over dimension space — the
+// benchmark's Statistics queries (MODIS: rolling average of polar light
+// levels grouped by day; AIS: coarse map of moving-ship track counts).
+type GroupBySpec struct {
+	// Array is the fact array.
+	Array string
+	// Regions restrict the aggregated cells (union). Empty means all.
+	Regions []Region
+	// GroupDims are the dimension indexes to group on.
+	GroupDims []int
+	// GroupScale coarsens each group dimension: cells per bucket,
+	// parallel to GroupDims (1 = exact dimension value).
+	GroupScale []int64
+	// Attr, when non-empty, is averaged per group; otherwise the
+	// aggregate is a count.
+	Attr string
+	// FilterAttr/FilterMin, when FilterAttr is non-empty, keep only
+	// cells whose attribute is >= FilterMin (e.g. speed > 0 for "ships
+	// in motion").
+	FilterAttr string
+	FilterMin  float64
+}
+
+// GroupByAggregate executes the spec: every node folds its resident cells
+// into partial per-group accumulators, ships the partials to the
+// coordinator, and the coordinator merges. Latency is the slowest node's
+// scan plus the (small) partial transfer.
+func GroupByAggregate(c *cluster.Cluster, spec GroupBySpec) (Result, error) {
+	s, err := schemaOf(c, spec.Array)
+	if err != nil {
+		return Result{}, err
+	}
+	if len(spec.GroupDims) == 0 || len(spec.GroupDims) != len(spec.GroupScale) {
+		return Result{}, fmt.Errorf("query: group-by needs parallel GroupDims/GroupScale, got %d/%d", len(spec.GroupDims), len(spec.GroupScale))
+	}
+	for i, d := range spec.GroupDims {
+		if d < 0 || d >= len(s.Dims) {
+			return Result{}, fmt.Errorf("query: group dim %d out of range for %s", d, spec.Array)
+		}
+		if spec.GroupScale[i] < 1 {
+			return Result{}, fmt.Errorf("query: group scale must be >= 1")
+		}
+	}
+	for _, r := range spec.Regions {
+		if err := r.Validate(s); err != nil {
+			return Result{}, err
+		}
+	}
+	var scanAttrs []int
+	aggIdx, filterIdx := -1, -1
+	if spec.Attr != "" {
+		idx, err := attrIndexes(s, []string{spec.Attr})
+		if err != nil {
+			return Result{}, err
+		}
+		aggIdx = idx[0]
+		scanAttrs = append(scanAttrs, aggIdx)
+	}
+	if spec.FilterAttr != "" {
+		idx, err := attrIndexes(s, []string{spec.FilterAttr})
+		if err != nil {
+			return Result{}, err
+		}
+		filterIdx = idx[0]
+		scanAttrs = append(scanAttrs, filterIdx)
+	}
+	inRegions := func(cell array.Coord) bool {
+		if len(spec.Regions) == 0 {
+			return true
+		}
+		for _, r := range spec.Regions {
+			if r.ContainsCell(cell) {
+				return true
+			}
+		}
+		return false
+	}
+	intersects := func(cc array.ChunkCoord) bool {
+		if len(spec.Regions) == 0 {
+			return true
+		}
+		for _, r := range spec.Regions {
+			if r.IntersectsChunk(s, cc) {
+				return true
+			}
+		}
+		return false
+	}
+	type acc struct {
+		sum   float64
+		count int64
+	}
+	t := NewTracker(c)
+	global := make(map[string]*acc)
+	var cells int64
+	for _, id := range c.Nodes() {
+		node, _ := c.Node(id)
+		local := make(map[string]*acc)
+		for _, ch := range chunksOfArray(node, spec.Array) {
+			if !intersects(ch.Coords) {
+				continue
+			}
+			t.IO(id, ch.ProjectedSizeBytes(scanAttrs))
+			t.CPU(id, int64(ch.Len()))
+			cell := make(array.Coord, len(s.Dims))
+			for i := 0; i < ch.Len(); i++ {
+				for d := range ch.DimCols {
+					cell[d] = ch.DimCols[d][i]
+				}
+				if !inRegions(cell) {
+					continue
+				}
+				if filterIdx >= 0 && ch.AttrCols[filterIdx].Float64(i) < spec.FilterMin {
+					continue
+				}
+				key := groupKey(cell, spec.GroupDims, spec.GroupScale)
+				a, ok := local[key]
+				if !ok {
+					a = &acc{}
+					local[key] = a
+				}
+				if aggIdx >= 0 {
+					a.sum += ch.AttrCols[aggIdx].Float64(i)
+				}
+				a.count++
+				cells++
+			}
+		}
+		t.Net(int64(len(local)) * 24) // key + sum + count per group
+		for k, a := range local {
+			g, ok := global[k]
+			if !ok {
+				g = &acc{}
+				global[k] = g
+			}
+			g.sum += a.sum
+			g.count += a.count
+		}
+	}
+	t.CPU(c.Coordinator(), int64(len(global)))
+	// Value: the grand mean of group means (a checkable scalar),
+	// accumulated in sorted group order for run-to-run determinism.
+	var mean float64
+	if len(global) > 0 {
+		gkeys := make([]string, 0, len(global))
+		for k := range global {
+			gkeys = append(gkeys, k)
+		}
+		sort.Strings(gkeys)
+		for _, k := range gkeys {
+			a := global[k]
+			if spec.Attr != "" && a.count > 0 {
+				mean += a.sum / float64(a.count)
+			} else {
+				mean += float64(a.count)
+			}
+		}
+		mean /= float64(len(global))
+	}
+	return t.Finish(cells, mean), nil
+}
+
+func groupKey(cell array.Coord, dims []int, scale []int64) string {
+	key := make(array.ChunkCoord, len(dims))
+	for i, d := range dims {
+		v := cell[d]
+		if v >= 0 {
+			key[i] = v / scale[i]
+		} else {
+			key[i] = (v - scale[i] + 1) / scale[i] // floor division
+		}
+	}
+	return key.Key()
+}
+
+// point is a cell projected to the two spatial dimensions plus a value.
+type point struct {
+	x, y float64
+	v    float64
+}
+
+// gatherSlab collects, per chunk of the given time slab: the chunk's own
+// points and the halo points (cells of spatially neighbouring chunks
+// within `radius` of the chunk's bounds). Remote halo cells are charged to
+// the network; every touched chunk is charged one scan at its owner. The
+// xDim/yDim indexes identify the spatial dimensions; valAttr < 0 loads no
+// value column; radius < 0 skips the halo exchange entirely (callers that
+// fetch neighbour chunks on demand, like KNN, charge their own transfers).
+func gatherSlab(c *cluster.Cluster, t *Tracker, s *array.Schema, timeChunk int64, xDim, yDim, valAttr int, radius int64) (map[string][]point, map[string][]point, map[string]partition.NodeID, error) {
+	own := make(map[string][]point)
+	halo := make(map[string][]point)
+	homes := make(map[string]partition.NodeID)
+	scanned := make(map[string]bool)
+	var scanAttrs []int
+	if valAttr >= 0 {
+		scanAttrs = append(scanAttrs, valAttr)
+	}
+	cellBytes := int64(len(s.Dims))*8 + 8
+
+	var slab []*array.Chunk
+	for _, id := range c.Nodes() {
+		node, _ := c.Node(id)
+		for _, ch := range chunksOfArray(node, s.Name) {
+			if ch.Coords[0] != timeChunk {
+				continue
+			}
+			slab = append(slab, ch)
+			homes[ch.Coords.Key()] = id
+			if !scanned[ch.Coords.Key()] {
+				scanned[ch.Coords.Key()] = true
+				t.IO(id, ch.ProjectedSizeBytes(scanAttrs))
+			}
+			pts := make([]point, 0, ch.Len())
+			for i := 0; i < ch.Len(); i++ {
+				var v float64
+				if valAttr >= 0 {
+					v = ch.AttrCols[valAttr].Float64(i)
+				}
+				pts = append(pts, point{
+					x: float64(ch.DimCols[xDim][i]),
+					y: float64(ch.DimCols[yDim][i]),
+					v: v,
+				})
+			}
+			own[ch.Coords.Key()] = pts
+		}
+	}
+	if radius < 0 {
+		return own, halo, homes, nil
+	}
+	// Halo exchange: each chunk pulls boundary cells from its spatial
+	// neighbours in the same slab.
+	for _, ch := range slab {
+		key := ch.Coords.Key()
+		home := homes[key]
+		lo, hi := s.ChunkBounds(ch.Coords)
+		for _, ncc := range spatialNeighbors(s, ch.Coords, xDim, yDim) {
+			nKey := ncc.Key()
+			nPts, ok := own[nKey]
+			if !ok {
+				continue // neighbour chunk empty / absent
+			}
+			var pulled int64
+			for _, p := range nPts {
+				if p.x >= float64(lo[xDim])-float64(radius) && p.x <= float64(hi[xDim])+float64(radius) &&
+					p.y >= float64(lo[yDim])-float64(radius) && p.y <= float64(hi[yDim])+float64(radius) {
+					halo[key] = append(halo[key], p)
+					pulled++
+				}
+			}
+			if homes[nKey] != home && pulled > 0 {
+				t.Net(pulled * cellBytes)
+			}
+		}
+	}
+	return own, halo, homes, nil
+}
+
+// spatialNeighbors lists the slab-internal neighbour chunk coordinates
+// (±1 along the two spatial dimensions, including diagonals).
+func spatialNeighbors(s *array.Schema, cc array.ChunkCoord, xDim, yDim int) []array.ChunkCoord {
+	var out []array.ChunkCoord
+	for dx := int64(-1); dx <= 1; dx++ {
+		for dy := int64(-1); dy <= 1; dy++ {
+			if dx == 0 && dy == 0 {
+				continue
+			}
+			n := cc.Clone()
+			n[xDim] += dx
+			n[yDim] += dy
+			if s.ValidChunk(n) {
+				out = append(out, n)
+			}
+		}
+	}
+	return out
+}
+
+// WindowAggregate runs the MODIS Complex Projection benchmark: a windowed
+// mean over the most recent day, each output pixel averaging the cells
+// within Chebyshev radius `radius` of it — a partially overlapping sample
+// space that needs halo cells from neighbouring chunks. When neighbours
+// live on other nodes the halo crosses the network, which is exactly why
+// n-dimensionally clustered partitioners win this query.
+func WindowAggregate(c *cluster.Cluster, arrayName, attr string, timeChunk, radius int64) (Result, error) {
+	s, err := schemaOf(c, arrayName)
+	if err != nil {
+		return Result{}, err
+	}
+	if len(s.Dims) != 3 {
+		return Result{}, fmt.Errorf("query: WindowAggregate expects a 3-D array, %s has %d dims", arrayName, len(s.Dims))
+	}
+	attrIdx, err := attrIndexes(s, []string{attr})
+	if err != nil {
+		return Result{}, err
+	}
+	if radius < 1 {
+		return Result{}, fmt.Errorf("query: window radius must be >= 1")
+	}
+	t := NewTracker(c)
+	own, halo, homes, err := gatherSlab(c, t, s, timeChunk, 1, 2, attrIdx[0], radius)
+	if err != nil {
+		return Result{}, err
+	}
+	var outputs int64
+	var grand float64
+	// Iterate chunks in sorted order: float accumulation must not depend
+	// on map iteration order, or results differ run to run.
+	ownKeys := make([]string, 0, len(own))
+	for key := range own {
+		ownKeys = append(ownKeys, key)
+	}
+	sort.Strings(ownKeys)
+	for _, key := range ownKeys {
+		centers := own[key]
+		cand := append(append([]point(nil), centers...), halo[key]...)
+		t.CPU(homes[key], int64(len(centers))*int64(1+len(cand)/8))
+		for _, ctr := range centers {
+			var sum float64
+			var n int
+			for _, p := range cand {
+				if math.Abs(p.x-ctr.x) <= float64(radius) && math.Abs(p.y-ctr.y) <= float64(radius) {
+					sum += p.v
+					n++
+				}
+			}
+			if n > 0 {
+				grand += sum / float64(n)
+				outputs++
+			}
+		}
+	}
+	mean := 0.0
+	if outputs > 0 {
+		mean = grand / float64(outputs)
+	}
+	return t.Finish(outputs, mean), nil
+}
+
+// KMeans runs the MODIS Modeling benchmark: k-means over (longitude,
+// latitude, value) of the cells inside the region — the paper clusters the
+// Amazon's vegetation index to find deforestation. Assignment and partial
+// centroid sums run node-local each iteration; only the k centroids cross
+// the network between iterations.
+func KMeans(c *cluster.Cluster, arrayName, attr string, region Region, k, iters int) (Result, error) {
+	s, err := schemaOf(c, arrayName)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := region.Validate(s); err != nil {
+		return Result{}, err
+	}
+	if len(s.Dims) != 3 {
+		return Result{}, fmt.Errorf("query: KMeans expects a 3-D array")
+	}
+	if k < 1 || iters < 1 {
+		return Result{}, fmt.Errorf("query: k and iters must be >= 1")
+	}
+	attrIdx, err := attrIndexes(s, []string{attr})
+	if err != nil {
+		return Result{}, err
+	}
+	t := NewTracker(c)
+	// Gather features node-local; IO charged once (iterations hit cache).
+	perNode := make(map[partition.NodeID][]point)
+	for _, id := range c.Nodes() {
+		node, _ := c.Node(id)
+		for _, ch := range chunksOfArray(node, arrayName) {
+			if !region.IntersectsChunk(s, ch.Coords) {
+				continue
+			}
+			t.IO(id, ch.ProjectedSizeBytes(attrIdx))
+			cell := make(array.Coord, len(s.Dims))
+			for i := 0; i < ch.Len(); i++ {
+				for d := range ch.DimCols {
+					cell[d] = ch.DimCols[d][i]
+				}
+				if !region.ContainsCell(cell) {
+					continue
+				}
+				perNode[id] = append(perNode[id], point{
+					x: float64(cell[1]),
+					y: float64(cell[2]),
+					v: ch.AttrCols[attrIdx[0]].Float64(i),
+				})
+			}
+		}
+	}
+	var all []point
+	ids := c.Nodes()
+	for _, id := range ids {
+		all = append(all, perNode[id]...)
+	}
+	if len(all) < k {
+		return Result{}, fmt.Errorf("query: only %d cells in region, need k=%d", len(all), k)
+	}
+	// Deterministic init: evenly spaced cells in canonical order.
+	centroids := make([]point, k)
+	for i := range centroids {
+		centroids[i] = all[i*len(all)/k]
+	}
+	var inertia float64
+	for it := 0; it < iters; it++ {
+		sums := make([]point, k)
+		counts := make([]int64, k)
+		inertia = 0
+		for _, id := range ids {
+			pts := perNode[id]
+			t.CPU(id, int64(len(pts))*int64(k))
+			for _, p := range pts {
+				best, bestD := 0, math.Inf(1)
+				for ci, ct := range centroids {
+					d := sq(p.x-ct.x) + sq(p.y-ct.y) + sq(p.v-ct.v)
+					if d < bestD {
+						best, bestD = ci, d
+					}
+				}
+				sums[best].x += p.x
+				sums[best].y += p.y
+				sums[best].v += p.v
+				counts[best]++
+				inertia += bestD
+			}
+			t.Net(int64(k) * 32) // partial centroids to the coordinator
+		}
+		for ci := range centroids {
+			if counts[ci] > 0 {
+				centroids[ci] = point{
+					x: sums[ci].x / float64(counts[ci]),
+					y: sums[ci].y / float64(counts[ci]),
+					v: sums[ci].v / float64(counts[ci]),
+				}
+			}
+		}
+		t.Net(int64(k) * 32 * int64(len(ids))) // broadcast revised centroids
+	}
+	return t.Finish(int64(len(all)), inertia), nil
+}
+
+func sq(x float64) float64 { return x * x }
+
+// KNN runs the AIS Modeling benchmark: non-parametric density estimation
+// by k-nearest-neighbours for a deterministic sample of ships from the
+// slab. Each search examines the query's own chunk plus its spatial
+// neighbours; remote candidate chunks ship their positions across the
+// network — the cost that halves when the partitioner preserves array
+// space (Fig 7).
+func KNN(c *cluster.Cluster, arrayName string, timeChunk int64, nQueries, k int) (Result, error) {
+	s, err := schemaOf(c, arrayName)
+	if err != nil {
+		return Result{}, err
+	}
+	if len(s.Dims) != 3 {
+		return Result{}, fmt.Errorf("query: KNN expects a 3-D array")
+	}
+	if nQueries < 1 || k < 1 {
+		return Result{}, fmt.Errorf("query: nQueries and k must be >= 1")
+	}
+	t := NewTracker(c)
+	own, _, homes, err := gatherSlab(c, t, s, timeChunk, 1, 2, -1, -1)
+	if err != nil {
+		return Result{}, err
+	}
+	keys := make([]string, 0, len(own))
+	var total int64
+	for key := range own {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		total += int64(len(own[key]))
+	}
+	if total == 0 {
+		return Result{}, fmt.Errorf("query: slab %d of %s is empty", timeChunk, arrayName)
+	}
+	if int64(nQueries) > total {
+		nQueries = int(total)
+	}
+	// Deterministic uniform sample: every (total/nQueries)-th cell in
+	// canonical order. Because the data is port-skewed, most samples
+	// land in port chunks — matching real marine traffic.
+	stride := total / int64(nQueries)
+	var queries []struct {
+		key string
+		p   point
+	}
+	var idx int64
+	for _, key := range keys {
+		for _, p := range own[key] {
+			if idx%stride == 0 && len(queries) < nQueries {
+				queries = append(queries, struct {
+					key string
+					p   point
+				}{key, p})
+			}
+			idx++
+		}
+	}
+	cellBytes := int64(len(s.Dims)) * 8
+	// shipped tracks which (requester-home, chunk) transfers have been
+	// charged: repeated searches from the same node reuse the copy.
+	shipped := make(map[string]bool)
+	var sumKth float64
+	for _, q := range queries {
+		home := homes[q.key]
+		cc, _ := array.ParseChunkCoord(q.key)
+		cand := append([]point(nil), own[q.key]...)
+		for _, ncc := range spatialNeighbors(s, cc, 1, 2) {
+			nKey := ncc.Key()
+			nPts, ok := own[nKey]
+			if !ok {
+				continue
+			}
+			if homes[nKey] != home {
+				shipKey := fmt.Sprintf("%d<-%s", home, nKey)
+				if !shipped[shipKey] {
+					shipped[shipKey] = true
+					t.Net(int64(len(nPts)) * cellBytes)
+				}
+			}
+			cand = append(cand, nPts...)
+		}
+		t.CPU(home, int64(len(cand)))
+		sumKth += kthDistance(q.p, cand, k)
+	}
+	return t.Finish(int64(len(queries)), sumKth/float64(len(queries))), nil
+}
+
+// kthDistance returns the Euclidean distance from q to its k-th nearest
+// candidate (excluding q itself once).
+func kthDistance(q point, cand []point, k int) float64 {
+	ds := make([]float64, 0, len(cand))
+	skippedSelf := false
+	for _, p := range cand {
+		if !skippedSelf && p.x == q.x && p.y == q.y && p.v == q.v {
+			skippedSelf = true
+			continue
+		}
+		ds = append(ds, math.Hypot(p.x-q.x, p.y-q.y))
+	}
+	if len(ds) == 0 {
+		return 0
+	}
+	sort.Float64s(ds)
+	if k > len(ds) {
+		k = len(ds)
+	}
+	return ds[k-1]
+}
+
+// CollisionProjection runs the AIS Complex Projection benchmark: plot each
+// moving ship's position `horizon` minutes ahead from its speed and
+// heading, then count pairs projected within `eps` cells of each other —
+// candidate collisions. Ships near chunk borders need neighbouring chunks'
+// projections, so the query performs the same halo exchange as the
+// windowed aggregate.
+func CollisionProjection(c *cluster.Cluster, arrayName string, timeChunk int64, horizon float64, eps float64) (Result, error) {
+	s, err := schemaOf(c, arrayName)
+	if err != nil {
+		return Result{}, err
+	}
+	if len(s.Dims) != 3 {
+		return Result{}, fmt.Errorf("query: CollisionProjection expects a 3-D array")
+	}
+	speedIdx, err := attrIndexes(s, []string{"speed"})
+	if err != nil {
+		return Result{}, err
+	}
+	headingIdx, err := attrIndexes(s, []string{"heading"})
+	if err != nil {
+		return Result{}, err
+	}
+	t := NewTracker(c)
+	// Project per chunk where the data lives.
+	proj := make(map[string][]point)
+	homes := make(map[string]partition.NodeID)
+	scan := []int{speedIdx[0], headingIdx[0]}
+	for _, id := range c.Nodes() {
+		node, _ := c.Node(id)
+		for _, ch := range chunksOfArray(node, arrayName) {
+			if ch.Coords[0] != timeChunk {
+				continue
+			}
+			key := ch.Coords.Key()
+			homes[key] = id
+			t.IO(id, ch.ProjectedSizeBytes(scan))
+			t.CPU(id, int64(ch.Len()))
+			for i := 0; i < ch.Len(); i++ {
+				speed := ch.AttrCols[speedIdx[0]].Float64(i)
+				if speed <= 0 {
+					continue
+				}
+				heading := ch.AttrCols[headingIdx[0]].Float64(i) * math.Pi / 180
+				// Degrees travelled ≈ speed(knots) × horizon, scaled
+				// into cell units; the constant matters less than the
+				// geometry being real.
+				d := speed * horizon / 600
+				proj[key] = append(proj[key], point{
+					x: float64(ch.DimCols[1][i]) + d*math.Sin(heading),
+					y: float64(ch.DimCols[2][i]) + d*math.Cos(heading),
+				})
+			}
+		}
+	}
+	cellBytes := int64(16)
+	var collisions int64
+	keys := make([]string, 0, len(proj))
+	for key := range proj {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		centers := proj[key]
+		home := homes[key]
+		cc, _ := array.ParseChunkCoord(key)
+		cand := append([]point(nil), centers...)
+		for _, ncc := range spatialNeighbors(s, cc, 1, 2) {
+			nPts, ok := proj[ncc.Key()]
+			if !ok {
+				continue
+			}
+			if homes[ncc.Key()] != home {
+				t.Net(int64(len(nPts)) * cellBytes)
+			}
+			cand = append(cand, nPts...)
+		}
+		t.CPU(home, int64(len(centers))*int64(1+len(cand)/8))
+		for i, a := range centers {
+			// Within-chunk pairs are counted once (j > i). Cross-chunk
+			// pairs are seen from both chunks; counting both keeps the
+			// result deterministic, which is all the benchmark needs.
+			for j := i + 1; j < len(cand); j++ {
+				b := cand[j]
+				if math.Hypot(a.x-b.x, a.y-b.y) <= eps {
+					collisions++
+				}
+			}
+		}
+	}
+	return t.Finish(collisions, float64(collisions)), nil
+}

@@ -1,0 +1,313 @@
+package query
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/array"
+	"repro/internal/cluster"
+	"repro/internal/stats"
+)
+
+// SelectRegion runs the benchmark's Selection query: scan the array's
+// chunks intersecting the region on whichever nodes hold them, filter
+// per-cell, and count the qualifying cells. The operator is embarrassingly
+// parallel, so its latency is the slowest node's scan — directly exposing
+// storage (im)balance, which is what the paper's MODIS corner selection and
+// AIS Houston-port selection measure.
+func SelectRegion(c *cluster.Cluster, arrayName string, region Region, attrs []string) (Result, error) {
+	s, err := schemaOf(c, arrayName)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := region.Validate(s); err != nil {
+		return Result{}, err
+	}
+	attrIdx, err := attrIndexes(s, attrs)
+	if err != nil {
+		return Result{}, err
+	}
+	t := NewTracker(c)
+	var matched int64
+	for _, id := range c.Nodes() {
+		node, _ := c.Node(id)
+		for _, ch := range chunksOfArray(node, arrayName) {
+			if !region.IntersectsChunk(s, ch.Coords) {
+				continue
+			}
+			t.IO(id, ch.ProjectedSizeBytes(attrIdx))
+			t.CPU(id, int64(ch.Len()))
+			if region.ContainsChunk(s, ch.Coords) {
+				matched += int64(ch.Len())
+				continue
+			}
+			matched += int64(len(ch.Filter(region.ContainsCell)))
+		}
+	}
+	return t.Finish(matched, float64(matched)), nil
+}
+
+// Quantile runs the benchmark's Sort query for MODIS: estimate the q-th
+// quantile of an attribute from a uniform random sample — a parallelized
+// sort. Every node scans its chunks, samples locally, and ships the sample
+// to the coordinator, which sorts and interpolates.
+func Quantile(c *cluster.Cluster, arrayName, attr string, q, sampleFrac float64) (Result, error) {
+	s, err := schemaOf(c, arrayName)
+	if err != nil {
+		return Result{}, err
+	}
+	attrIdx, err := attrIndexes(s, []string{attr})
+	if err != nil {
+		return Result{}, err
+	}
+	if sampleFrac <= 0 || sampleFrac > 1 {
+		return Result{}, fmt.Errorf("query: sample fraction %v outside (0,1]", sampleFrac)
+	}
+	t := NewTracker(c)
+	var sample []float64
+	coord := c.Coordinator()
+	for _, id := range c.Nodes() {
+		node, _ := c.Node(id)
+		rng := rand.New(rand.NewSource(int64(id)*7919 + 1))
+		var local []float64
+		for _, ch := range chunksOfArray(node, arrayName) {
+			t.IO(id, ch.ProjectedSizeBytes(attrIdx))
+			t.CPU(id, int64(ch.Len()))
+			col := ch.AttrCols[attrIdx[0]]
+			for i := 0; i < col.Len(); i++ {
+				if rng.Float64() < sampleFrac {
+					local = append(local, col.Float64(i))
+				}
+			}
+		}
+		t.Net(int64(len(local)) * 8) // ship the sample to the coordinator
+		sample = append(sample, local...)
+	}
+	if len(sample) == 0 {
+		return Result{}, fmt.Errorf("query: empty sample for quantile over %s.%s", arrayName, attr)
+	}
+	t.CPU(coord, int64(len(sample))) // coordinator-side sort
+	v, err := stats.Quantile(sample, q)
+	if err != nil {
+		return Result{}, err
+	}
+	return t.Finish(int64(len(sample)), v), nil
+}
+
+// DistinctSorted runs the benchmark's Sort query for AIS: a sorted log of
+// the distinct values of an attribute (ship identifiers). Nodes compute
+// local distinct sets, ship them to the coordinator, which merges and
+// sorts.
+func DistinctSorted(c *cluster.Cluster, arrayName, attr string) (Result, error) {
+	s, err := schemaOf(c, arrayName)
+	if err != nil {
+		return Result{}, err
+	}
+	attrIdx, err := attrIndexes(s, []string{attr})
+	if err != nil {
+		return Result{}, err
+	}
+	t := NewTracker(c)
+	coord := c.Coordinator()
+	global := make(map[int64]bool)
+	for _, id := range c.Nodes() {
+		node, _ := c.Node(id)
+		local := make(map[int64]bool)
+		for _, ch := range chunksOfArray(node, arrayName) {
+			t.IO(id, ch.ProjectedSizeBytes(attrIdx))
+			t.CPU(id, int64(ch.Len()))
+			col, ok := ch.AttrCols[attrIdx[0]].(*array.IntColumn)
+			if !ok {
+				return Result{}, fmt.Errorf("query: DistinctSorted needs an integer attribute, %s.%s is %v", arrayName, attr, s.Attrs[attrIdx[0]].Type)
+			}
+			for _, v := range col.Vals {
+				local[v] = true
+			}
+		}
+		t.Net(int64(len(local)) * 8)
+		for v := range local {
+			global[v] = true
+		}
+	}
+	t.CPU(coord, int64(len(global)))
+	sorted := make([]int64, 0, len(global))
+	for v := range global {
+		sorted = append(sorted, v)
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var first float64
+	if len(sorted) > 0 {
+		first = float64(sorted[0])
+	}
+	return t.Finish(int64(len(sorted)), first), nil
+}
+
+// JoinBands runs the MODIS Join benchmark: a structural join of the two
+// bands at equal array positions over one time slab (the most recent day),
+// computing the normalized difference vegetation index
+// (b2−b1)/(b2+b1) per matched cell. Chunks of the two bands at the same
+// grid position must meet: when they live on different nodes the smaller
+// side ships to the larger's host — which is why partitioners that scatter
+// the joined day over one or two hosts (Append) are erratic here (Fig 6).
+func JoinBands(c *cluster.Cluster, left, right, attr string, timeChunk int64) (Result, error) {
+	ls, err := schemaOf(c, left)
+	if err != nil {
+		return Result{}, err
+	}
+	rs, err := schemaOf(c, right)
+	if err != nil {
+		return Result{}, err
+	}
+	lAttr, err := attrIndexes(ls, []string{attr})
+	if err != nil {
+		return Result{}, err
+	}
+	rAttr, err := attrIndexes(rs, []string{attr})
+	if err != nil {
+		return Result{}, err
+	}
+	t := NewTracker(c)
+	var matches int64
+	var ndviSum float64
+	for _, id := range c.Nodes() {
+		node, _ := c.Node(id)
+		for _, lch := range chunksOfArray(node, left) {
+			if lch.Coords[0] != timeChunk {
+				continue
+			}
+			rref := array.ChunkRef{Array: right, Coords: lch.Coords}
+			rOwner, ok := c.Owner(rref)
+			if !ok {
+				continue // no matching chunk in the right band
+			}
+			rNode, _ := c.Node(rOwner)
+			rch, ok := rNode.Chunk(rref)
+			if !ok {
+				return Result{}, fmt.Errorf("query: catalog places %s on node %d but it is missing", rref, rOwner)
+			}
+			// Scan both sides where they live.
+			t.IO(id, lch.ProjectedSizeBytes(lAttr))
+			t.IO(rOwner, rch.ProjectedSizeBytes(rAttr))
+			// Collocate: ship the smaller side if they differ.
+			execNode := id
+			if rOwner != id {
+				lb, rb := lch.ProjectedSizeBytes(lAttr), rch.ProjectedSizeBytes(rAttr)
+				if lb < rb {
+					t.Net(lb)
+					execNode = rOwner
+				} else {
+					t.Net(rb)
+				}
+			}
+			t.CPU(execNode, int64(lch.Len()+rch.Len()))
+			m, sum := structuralJoinNDVI(lch, rch, lAttr[0], rAttr[0])
+			matches += m
+			ndviSum += sum
+		}
+	}
+	mean := 0.0
+	if matches > 0 {
+		mean = ndviSum / float64(matches)
+	}
+	return t.Finish(matches, mean), nil
+}
+
+// structuralJoinNDVI hash-joins two chunks on cell coordinates and folds
+// the vegetation index of each matched cell.
+func structuralJoinNDVI(lch, rch *array.Chunk, lAttr, rAttr int) (int64, float64) {
+	type key [3]int64
+	index := make(map[key]int, lch.Len())
+	for i := 0; i < lch.Len(); i++ {
+		var k key
+		for d := 0; d < len(lch.DimCols) && d < 3; d++ {
+			k[d] = lch.DimCols[d][i]
+		}
+		index[k] = i
+	}
+	var matches int64
+	var sum float64
+	lcol := lch.AttrCols[lAttr]
+	rcol := rch.AttrCols[rAttr]
+	for j := 0; j < rch.Len(); j++ {
+		var k key
+		for d := 0; d < len(rch.DimCols) && d < 3; d++ {
+			k[d] = rch.DimCols[d][j]
+		}
+		i, ok := index[k]
+		if !ok {
+			continue
+		}
+		b1, b2 := lcol.Float64(i), rcol.Float64(j)
+		if b1+b2 != 0 {
+			sum += (b2 - b1) / (b2 + b1)
+		}
+		matches++
+	}
+	return matches, sum
+}
+
+// JoinReplicated runs the AIS Join benchmark: Broadcast ⋈ Vessel on
+// ship_id over one time slab. The vessel array is replicated on every
+// node, so the join is local everywhere — no shuffling, pure parallel scan
+// — and the latency is again the most loaded node's.
+func JoinReplicated(c *cluster.Cluster, factArray, factKey, dimArray string, timeChunk int64) (Result, error) {
+	fs, err := schemaOf(c, factArray)
+	if err != nil {
+		return Result{}, err
+	}
+	keyIdx, err := attrIndexes(fs, []string{factKey})
+	if err != nil {
+		return Result{}, err
+	}
+	t := NewTracker(c)
+	var joined int64
+	var typeSum float64
+	for _, id := range c.Nodes() {
+		node, _ := c.Node(id)
+		reps := node.Replicas()
+		var dim *array.Chunk
+		for _, r := range reps {
+			if r.Schema.Name == dimArray {
+				dim = r
+				break
+			}
+		}
+		if dim == nil {
+			return Result{}, fmt.Errorf("query: node %d is missing replica of %s", id, dimArray)
+		}
+		// Build the dimension hash table once per node.
+		dimIdx := make(map[int64]int, dim.Len())
+		for i := 0; i < dim.Len(); i++ {
+			dimIdx[dim.DimCols[0][i]] = i
+		}
+		charged := false
+		for _, ch := range chunksOfArray(node, factArray) {
+			if ch.Coords[0] != timeChunk {
+				continue
+			}
+			if !charged {
+				t.IO(id, dim.SizeBytes()) // one local read of the replica
+				t.CPU(id, int64(dim.Len()))
+				charged = true
+			}
+			t.IO(id, ch.ProjectedSizeBytes(keyIdx))
+			t.CPU(id, int64(ch.Len()))
+			keys, ok := ch.AttrCols[keyIdx[0]].(*array.IntColumn)
+			if !ok {
+				return Result{}, fmt.Errorf("query: join key %s.%s must be integer", factArray, factKey)
+			}
+			for _, ship := range keys.Vals {
+				if di, ok := dimIdx[ship]; ok {
+					joined++
+					typeSum += dim.AttrCols[0].Float64(di)
+				}
+			}
+		}
+	}
+	mean := 0.0
+	if joined > 0 {
+		mean = typeSum / float64(joined)
+	}
+	return t.Finish(joined, mean), nil
+}

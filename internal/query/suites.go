@@ -1,0 +1,208 @@
+package query
+
+import (
+	"fmt"
+
+	"repro/internal/array"
+	"repro/internal/cluster"
+)
+
+// SuiteResult aggregates one execution of a use case's benchmark: the
+// conventional Select-Project-Join queries and the science analytics,
+// with the per-query breakdown for the figures.
+type SuiteResult struct {
+	SPJ      cluster.Duration
+	Science  cluster.Duration
+	PerQuery map[string]Result
+}
+
+// Total returns the summed benchmark latency.
+func (r SuiteResult) Total() cluster.Duration { return r.SPJ + r.Science }
+
+// MODISSuite runs the six MODIS benchmark queries of Section 3.3 against
+// the cluster as of the given workload cycle (0-based; the cycle index is
+// also the most recent time-chunk index).
+//
+//	Selection:  1/16 of lat/long space at the lower-left corner of Band1.
+//	Sort:       median radiance from a uniform random sample (parallel sort).
+//	Join:       vegetation index over the most recent day (Band1 ⋈ Band2).
+//	Statistics: rolling average of polar light levels over the last 3 days.
+//	Modeling:   k-means over the Amazon region's cells.
+//	Projection: windowed aggregate of the most recent day.
+func MODISSuite(c *cluster.Cluster, cycle int) (SuiteResult, error) {
+	s, err := schemaOf(c, "Band1")
+	if err != nil {
+		return SuiteResult{}, err
+	}
+	maxTime := int64(cycle+1)*s.Dims[0].ChunkInterval - 1
+	out := SuiteResult{PerQuery: make(map[string]Result)}
+
+	// Selection: the lower-left 1/16th (a quarter of each spatial dim).
+	sel := FullRegion(s, maxTime)
+	sel.Hi[1] = s.Dims[1].Start + s.Dims[1].Extent()/4 - 1
+	sel.Hi[2] = s.Dims[2].Start + s.Dims[2].Extent()/4 - 1
+	r, err := SelectRegion(c, "Band1", sel, []string{"radiance"})
+	if err != nil {
+		return out, fmt.Errorf("modis selection: %w", err)
+	}
+	out.PerQuery["selection"] = r
+	out.SPJ += r.Elapsed
+
+	r, err = Quantile(c, "Band1", "radiance", 0.5, 0.1)
+	if err != nil {
+		return out, fmt.Errorf("modis sort: %w", err)
+	}
+	out.PerQuery["sort"] = r
+	out.SPJ += r.Elapsed
+
+	r, err = JoinBands(c, "Band1", "Band2", "radiance", int64(cycle))
+	if err != nil {
+		return out, fmt.Errorf("modis join: %w", err)
+	}
+	out.PerQuery["join"] = r
+	out.SPJ += r.Elapsed
+
+	// Statistics: polar caps, last three days, grouped by day.
+	timeLo := int64(0)
+	if cycle >= 2 {
+		timeLo = int64(cycle-2) * s.Dims[0].ChunkInterval
+	}
+	north := FullRegion(s, maxTime)
+	north.Lo[0] = timeLo
+	north.Lo[2] = 66 // above the arctic circle
+	south := FullRegion(s, maxTime)
+	south.Lo[0] = timeLo
+	south.Hi[2] = -67
+	r, err = GroupByAggregate(c, GroupBySpec{
+		Array:      "Band1",
+		Regions:    []Region{north, south},
+		GroupDims:  []int{0},
+		GroupScale: []int64{s.Dims[0].ChunkInterval},
+		Attr:       "radiance",
+	})
+	if err != nil {
+		return out, fmt.Errorf("modis statistics: %w", err)
+	}
+	out.PerQuery["statistics"] = r
+	out.Science += r.Elapsed
+
+	// Modeling: k-means over the Amazon basin (all days so far).
+	amazon := FullRegion(s, maxTime)
+	amazon.Lo[1], amazon.Hi[1] = -78, -44
+	amazon.Lo[2], amazon.Hi[2] = -20, 6
+	r, err = KMeans(c, "Band1", "radiance", amazon, 4, 4)
+	if err != nil {
+		return out, fmt.Errorf("modis modeling: %w", err)
+	}
+	out.PerQuery["modeling"] = r
+	out.Science += r.Elapsed
+
+	r, err = WindowAggregate(c, "Band1", "radiance", int64(cycle), 2)
+	if err != nil {
+		return out, fmt.Errorf("modis projection: %w", err)
+	}
+	out.PerQuery["projection"] = r
+	out.Science += r.Elapsed
+	return out, nil
+}
+
+// AISSuite runs the six AIS benchmark queries of Section 3.3 against the
+// cluster as of the given workload cycle.
+//
+//	Selection:  the densest port area (the paper's Houston filter).
+//	Sort:       sorted log of distinct ship identifiers.
+//	Join:       Broadcast ⋈ Vessel (replicated) over the newest slab.
+//	Statistics: coarse map of moving-ship track counts.
+//	Modeling:   k-nearest-neighbours for a sample of ships.
+//	Projection: collision prediction from recent trajectories.
+func AISSuite(c *cluster.Cluster, cycle int) (SuiteResult, error) {
+	s, err := schemaOf(c, "Broadcast")
+	if err != nil {
+		return SuiteResult{}, err
+	}
+	maxTime := int64(cycle+1)*s.Dims[0].ChunkInterval - 1
+	out := SuiteResult{PerQuery: make(map[string]Result)}
+
+	// Selection: bounding box of the densest chunk in the newest slab —
+	// the port of Houston stand-in.
+	port, err := densestChunk(c, "Broadcast", int64(cycle))
+	if err != nil {
+		return out, err
+	}
+	lo, hi := s.ChunkBounds(port)
+	sel := FullRegion(s, maxTime)
+	sel.Lo[1], sel.Hi[1] = lo[1], hi[1]
+	sel.Lo[2], sel.Hi[2] = lo[2], hi[2]
+	r, err := SelectRegion(c, "Broadcast", sel, []string{"speed", "ship_id"})
+	if err != nil {
+		return out, fmt.Errorf("ais selection: %w", err)
+	}
+	out.PerQuery["selection"] = r
+	out.SPJ += r.Elapsed
+
+	r, err = DistinctSorted(c, "Broadcast", "ship_id")
+	if err != nil {
+		return out, fmt.Errorf("ais sort: %w", err)
+	}
+	out.PerQuery["sort"] = r
+	out.SPJ += r.Elapsed
+
+	r, err = JoinReplicated(c, "Broadcast", "ship_id", "Vessel", int64(cycle))
+	if err != nil {
+		return out, fmt.Errorf("ais join: %w", err)
+	}
+	out.PerQuery["join"] = r
+	out.SPJ += r.Elapsed
+
+	// Statistics: moving-ship counts on a coarse 2×2-chunk grid.
+	r, err = GroupByAggregate(c, GroupBySpec{
+		Array:      "Broadcast",
+		GroupDims:  []int{1, 2},
+		GroupScale: []int64{2 * s.Dims[1].ChunkInterval, 2 * s.Dims[2].ChunkInterval},
+		FilterAttr: "speed",
+		FilterMin:  1,
+	})
+	if err != nil {
+		return out, fmt.Errorf("ais statistics: %w", err)
+	}
+	out.PerQuery["statistics"] = r
+	out.Science += r.Elapsed
+
+	r, err = KNN(c, "Broadcast", int64(cycle), 40, 8)
+	if err != nil {
+		return out, fmt.Errorf("ais modeling: %w", err)
+	}
+	out.PerQuery["modeling"] = r
+	out.Science += r.Elapsed
+
+	r, err = CollisionProjection(c, "Broadcast", int64(cycle), 15, 1.5)
+	if err != nil {
+		return out, fmt.Errorf("ais projection: %w", err)
+	}
+	out.PerQuery["projection"] = r
+	out.Science += r.Elapsed
+	return out, nil
+}
+
+// densestChunk returns the coordinates of the largest chunk of the array
+// in the given time slab.
+func densestChunk(c *cluster.Cluster, arrayName string, timeChunk int64) (array.ChunkCoord, error) {
+	var best array.ChunkCoord
+	var bestSize int64 = -1
+	for _, id := range c.Nodes() {
+		node, _ := c.Node(id)
+		for _, ch := range chunksOfArray(node, arrayName) {
+			if ch.Coords[0] != timeChunk {
+				continue
+			}
+			size := ch.SizeBytes()
+			if size > bestSize || (size == bestSize && ch.Coords.Less(best)) {
+				best, bestSize = ch.Coords.Clone(), size
+			}
+		}
+	}
+	if bestSize < 0 {
+		return nil, fmt.Errorf("query: no chunks of %s in time slab %d", arrayName, timeChunk)
+	}
+	return best, nil
+}

@@ -1,0 +1,129 @@
+// Package ring implements Karger-style consistent hashing (the paper's
+// reference [24]) with virtual nodes. Keys and nodes hash onto the
+// circumference of a circle; a key is owned by the first node clockwise
+// from its position. Adding a node steals only the arc segments that now
+// fall to it — the property that makes the Consistent Hash partitioner
+// incremental: chunks move only from a few predecessors to the new node.
+package ring
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Ring is a consistent-hash circle mapping string keys to integer node IDs.
+// The zero value is not usable; construct with New. Ring is not safe for
+// concurrent mutation.
+type Ring struct {
+	replicas int
+	points   []point // sorted by hash
+	nodes    map[int]bool
+}
+
+type point struct {
+	hash uint64
+	node int
+}
+
+// New returns an empty ring that places each node at `replicas` positions
+// (virtual nodes). More replicas → smoother balance, larger table.
+func New(replicas int) (*Ring, error) {
+	if replicas < 1 {
+		return nil, fmt.Errorf("ring: replicas must be >= 1, got %d", replicas)
+	}
+	return &Ring{replicas: replicas, nodes: make(map[int]bool)}, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(replicas int) *Ring {
+	r, err := New(replicas)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+func hashKey(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return mix64(h.Sum64())
+}
+
+// mix64 is the splitmix64 finalizer; it scatters the correlated FNV values
+// that near-identical keys (node-0-replica-1, node-0-replica-2, …) produce,
+// so virtual nodes land uniformly around the circle.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Len returns the number of distinct nodes on the ring.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// Nodes returns the node IDs on the ring in ascending order.
+func (r *Ring) Nodes() []int {
+	out := make([]int, 0, len(r.nodes))
+	for n := range r.nodes {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Has reports whether the node is on the ring.
+func (r *Ring) Has(node int) bool { return r.nodes[node] }
+
+// Add places a node (at its virtual positions) on the ring. Adding an
+// existing node is an error.
+func (r *Ring) Add(node int) error {
+	if r.nodes[node] {
+		return fmt.Errorf("ring: node %d already present", node)
+	}
+	r.nodes[node] = true
+	for i := 0; i < r.replicas; i++ {
+		h := hashKey(fmt.Sprintf("node-%d-replica-%d", node, i))
+		r.points = append(r.points, point{hash: h, node: node})
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].node < r.points[j].node
+	})
+	return nil
+}
+
+// Remove deletes a node and all its virtual positions.
+func (r *Ring) Remove(node int) error {
+	if !r.nodes[node] {
+		return fmt.Errorf("ring: node %d not present", node)
+	}
+	delete(r.nodes, node)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+	return nil
+}
+
+// Owner returns the node that owns the key: the first virtual position at
+// or clockwise after the key's hash. It panics on an empty ring.
+func (r *Ring) Owner(key string) int {
+	if len(r.points) == 0 {
+		panic("ring: Owner on empty ring")
+	}
+	h := hashKey(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap around
+	}
+	return r.points[i].node
+}

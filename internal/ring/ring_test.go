@@ -1,0 +1,176 @@
+package ring
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("replicas=0 should fail")
+	}
+	if _, err := New(64); err != nil {
+		t.Errorf("replicas=64: %v", err)
+	}
+}
+
+func TestAddRemoveHas(t *testing.T) {
+	r := MustNew(16)
+	if err := r.Add(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add(1); err == nil {
+		t.Error("duplicate Add should fail")
+	}
+	if !r.Has(1) || r.Has(2) {
+		t.Error("Has misreports")
+	}
+	if err := r.Remove(2); err == nil {
+		t.Error("removing absent node should fail")
+	}
+	if err := r.Remove(1); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 0 {
+		t.Errorf("Len = %d after remove, want 0", r.Len())
+	}
+}
+
+func TestOwnerDeterministic(t *testing.T) {
+	r := MustNew(32)
+	for n := 0; n < 4; n++ {
+		if err := r.Add(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("chunk-%d", i)
+		a, b := r.Owner(key), r.Owner(key)
+		if a != b {
+			t.Fatalf("Owner(%q) unstable: %d vs %d", key, a, b)
+		}
+	}
+}
+
+func TestOwnerEmptyPanics(t *testing.T) {
+	r := MustNew(4)
+	defer func() {
+		if recover() == nil {
+			t.Error("Owner on empty ring should panic")
+		}
+	}()
+	r.Owner("k")
+}
+
+func TestBalanceWithVirtualNodes(t *testing.T) {
+	r := MustNew(128)
+	const nodes = 8
+	for n := 0; n < nodes; n++ {
+		if err := r.Add(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	counts := make([]int, nodes)
+	const keys = 8000
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("key-%d", i))]++
+	}
+	for n, c := range counts {
+		frac := float64(c) / keys
+		if frac < 0.04 || frac > 0.25 {
+			t.Errorf("node %d owns %.1f%% of keys, want near %.1f%%", n, frac*100, 100.0/nodes)
+		}
+	}
+}
+
+func TestIncrementalityOnAdd(t *testing.T) {
+	// The consistent-hashing contract: when a node joins, keys may move
+	// only TO the new node, never between preexisting nodes.
+	r := MustNew(64)
+	for n := 0; n < 4; n++ {
+		if err := r.Add(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const keys = 2000
+	before := make([]int, keys)
+	for i := range before {
+		before[i] = r.Owner(fmt.Sprintf("key-%d", i))
+	}
+	if err := r.Add(4); err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for i := range before {
+		after := r.Owner(fmt.Sprintf("key-%d", i))
+		if after != before[i] {
+			if after != 4 {
+				t.Fatalf("key-%d moved %d -> %d (not the new node)", i, before[i], after)
+			}
+			moved++
+		}
+	}
+	// Roughly 1/5th of keys should move; tolerate wide variance.
+	if moved == 0 || moved > keys/2 {
+		t.Errorf("%d of %d keys moved to the new node; implausible", moved, keys)
+	}
+}
+
+func TestRemovalOnlyMovesOrphans(t *testing.T) {
+	r := MustNew(64)
+	for n := 0; n < 5; n++ {
+		if err := r.Add(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const keys = 1000
+	before := make([]int, keys)
+	for i := range before {
+		before[i] = r.Owner(fmt.Sprintf("key-%d", i))
+	}
+	if err := r.Remove(2); err != nil {
+		t.Fatal(err)
+	}
+	for i := range before {
+		after := r.Owner(fmt.Sprintf("key-%d", i))
+		if before[i] != 2 && after != before[i] {
+			t.Fatalf("key-%d moved %d -> %d though its owner remained", i, before[i], after)
+		}
+		if after == 2 {
+			t.Fatalf("key-%d still owned by removed node", i)
+		}
+	}
+}
+
+func TestNodesSorted(t *testing.T) {
+	r := MustNew(8)
+	for _, n := range []int{5, 1, 3} {
+		if err := r.Add(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := r.Nodes()
+	want := []int{1, 3, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Nodes() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestOwnerAlwaysAMember(t *testing.T) {
+	r := MustNew(16)
+	for n := 0; n < 3; n++ {
+		if err := r.Add(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f := func(key string) bool {
+		o := r.Owner(key)
+		return o >= 0 && o < 3
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,42 @@
+package sfc
+
+import "testing"
+
+func BenchmarkIndex2D(b *testing.B) {
+	c := MustCurve(2, 10)
+	coords := []uint64{513, 740}
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Index(coords); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIndex3D(b *testing.B) {
+	c := MustCurve(3, 10)
+	coords := []uint64{513, 740, 12}
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Index(coords); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCoords2D(b *testing.B) {
+	c := MustCurve(2, 10)
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Coords(uint64(i) % c.Size()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRectRank(b *testing.B) {
+	r := MustRectOrder([]int64{29, 23})
+	coords := []int64{17, 11}
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Rank(coords); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

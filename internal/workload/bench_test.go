@@ -1,0 +1,29 @@
+package workload
+
+import "testing"
+
+func BenchmarkMODISBatch(b *testing.B) {
+	m, err := NewMODIS(MODISConfig{Cycles: 14})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Batch(i % m.Cycles()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAISBatch(b *testing.B) {
+	a, err := NewAIS(AISConfig{Cycles: 12})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Batch(i % a.Cycles()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
