@@ -1,0 +1,152 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/array"
+	"repro/internal/benchfixture"
+	"repro/internal/partition"
+)
+
+// benchResult is one micro-benchmark measurement in the emitted JSON.
+type benchResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// benchReport is the file layout of the -json output: the placement
+// hot-path micro-benchmarks, recorded per PR so the perf trajectory of the
+// chunk-identity path stays visible.
+type benchReport struct {
+	Suite      string        `json:"suite"`
+	GoVersion  string        `json:"go_version"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+func record(name string, r testing.BenchmarkResult) benchResult {
+	ns := float64(r.T.Nanoseconds()) / float64(r.N)
+	ops := 0.0
+	if ns > 0 {
+		ops = 1e9 / ns
+	}
+	return benchResult{
+		Name:        name,
+		NsPerOp:     ns,
+		OpsPerSec:   ops,
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+// writeBenchJSON measures the chunk-identity hot path on the shared
+// MODIS-shaped fixture (internal/benchfixture — the exact workload the
+// go-test benchmarks run) and writes the results. Alongside the packed-key
+// paths it measures the string-keyed probe pattern the pre-ChunkKey code
+// used (build "Array:c0/c1/…" per lookup against a map[string]NodeID), so
+// every emitted file carries its own baseline comparison.
+func writeBenchJSON(path string) error {
+	c, chunks, err := benchfixture.ClusterAndChunks()
+	if err != nil {
+		return err
+	}
+	if _, err := c.Insert(chunks); err != nil {
+		return err
+	}
+	refs := make([]array.ChunkRef, len(chunks))
+	for i, ch := range chunks {
+		refs[i] = ch.Ref()
+	}
+	stringOwner := make(map[string]partition.NodeID, len(chunks))
+	for _, ch := range chunks {
+		if n, ok := c.Owner(ch.Key()); ok {
+			stringOwner[ch.Ref().Key()] = n
+		}
+	}
+
+	report := benchReport{
+		Suite:     "chunk-identity hot path (PR 1: packed ChunkKey)",
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+	add := func(name string, fn func(b *testing.B)) {
+		report.Benchmarks = append(report.Benchmarks, record(name, testing.Benchmark(fn)))
+	}
+
+	add("owner_lookup_packed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, ok := c.Owner(chunks[i%len(chunks)].Key()); !ok {
+				b.Fatal("chunk lost")
+			}
+		}
+	})
+	add("owner_lookup_packed_from_ref", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, ok := c.Owner(refs[i%len(refs)].Packed()); !ok {
+				b.Fatal("chunk lost")
+			}
+		}
+	})
+	add("owner_lookup_stringkey_baseline", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, ok := stringOwner[refs[i%len(refs)].Key()]; !ok {
+				b.Fatal("chunk lost")
+			}
+		}
+	})
+	add("insert_chunks", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			fresh, chs, err := benchfixture.ClusterAndChunks()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			if _, err := fresh.Insert(chs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	big := chunks[0]
+	add("cell_iter_into", func(b *testing.B) {
+		b.ReportAllocs()
+		var sum int64
+		for i := 0; i < b.N; i++ {
+			cell := make(array.Coord, 0, 3)
+			for j := 0; j < big.Len(); j++ {
+				cell = big.CellInto(j, cell)
+				sum += cell[0] + cell[1]
+			}
+		}
+		_ = sum
+	})
+	add("cell_iter_alloc_baseline", func(b *testing.B) {
+		b.ReportAllocs()
+		var sum int64
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < big.Len(); j++ {
+				cell := big.Cell(j)
+				sum += cell[0] + cell[1]
+			}
+		}
+		_ = sum
+	})
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

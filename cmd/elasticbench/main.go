@@ -7,6 +7,7 @@
 //	elasticbench -exp all            # every table and figure (default)
 //	elasticbench -exp fig4,fig5      # a subset
 //	elasticbench -exp table3 -quick  # fast, scaled-down configuration
+//	elasticbench -json BENCH.json    # emit hot-path micro-benchmarks as JSON
 //
 // Experiments: table1, fig4, fig5, fig6, fig7, fig8, table2, table3, cost.
 package main
@@ -23,7 +24,17 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "comma-separated experiments: table1,fig4,fig5,fig6,fig7,fig8,table2,table3,cost,queries,all")
 	quick := flag.Bool("quick", false, "use the scaled-down quick configuration")
+	jsonPath := flag.String("json", "", "write hot-path micro-benchmark results to this file as JSON and exit")
 	flag.Parse()
+
+	if *jsonPath != "" {
+		if err := writeBenchJSON(*jsonPath); err != nil {
+			fmt.Fprintln(os.Stderr, "elasticbench:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *jsonPath)
+		return
+	}
 
 	cfg := experiments.Config{}
 	if *quick {

@@ -29,13 +29,14 @@ type Edge struct {
 }
 
 // Graph is the co-access graph plus the placement snapshot it was built
-// from.
+// from. All internal indexes are keyed by the packed chunk identity so
+// building and consulting the graph allocates no key strings.
 type Graph struct {
 	Edges []Edge
 	// adj[key] lists the indexes into Edges incident to the chunk.
-	adj   map[string][]int
-	size  map[string]int64
-	owner map[string]partition.NodeID
+	adj   map[array.ChunkKey][]int
+	size  map[array.ChunkKey]int64
+	owner map[array.ChunkKey]partition.NodeID
 }
 
 // BuildGraph derives the co-access graph from the workload's structural
@@ -51,55 +52,50 @@ type Graph struct {
 // be dimension 0 with space on dimensions 1+, as in both workloads.
 func BuildGraph(c *cluster.Cluster, arrays []string) (*Graph, error) {
 	g := &Graph{
-		adj:   make(map[string][]int),
-		size:  make(map[string]int64),
-		owner: make(map[string]partition.NodeID),
+		adj:   make(map[array.ChunkKey][]int),
+		size:  make(map[array.ChunkKey]int64),
+		owner: make(map[array.ChunkKey]partition.NodeID),
 	}
-	byCoord := make(map[string][]array.ChunkRef) // coordinate key -> refs across arrays
+	byCoord := make(map[array.CoordKey][]array.ChunkRef) // grid position -> refs across arrays
 	type chunkPos struct {
 		ref  array.ChunkRef
+		key  array.ChunkKey
 		size int64
 	}
 	var all []chunkPos
 	for _, name := range arrays {
-		s, ok := c.Schema(name)
-		if !ok {
+		if _, ok := c.Schema(name); !ok {
 			return nil, fmt.Errorf("advisor: array %q not defined", name)
 		}
-		_ = s
 		for _, id := range c.Nodes() {
 			node, _ := c.Node(id)
 			for _, ch := range node.Chunks() {
 				if ch.Schema.Name != name {
 					continue
 				}
-				ref := ch.Ref()
-				key := ref.Key()
+				key := ch.Key()
 				g.size[key] = ch.SizeBytes()
 				g.owner[key] = id
-				all = append(all, chunkPos{ref: ref, size: ch.SizeBytes()})
-				byCoord[ref.Coords.Key()] = append(byCoord[ref.Coords.Key()], ref)
+				all = append(all, chunkPos{ref: ch.Ref(), key: key, size: ch.SizeBytes()})
+				coord := key.Coord()
+				byCoord[coord] = append(byCoord[coord], ch.Ref())
 			}
 		}
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i].ref.Key() < all[j].ref.Key() })
+	sort.Slice(all, func(i, j int) bool { return all[i].key.Less(all[j].key) })
 	// Halo edges between spatial neighbours in the same array and slab.
 	const boundaryFraction = 4 // halo ≈ 1/4 of the smaller chunk
-	index := make(map[string]int64)
-	for _, cp := range all {
-		index[cp.ref.Key()] = cp.size
-	}
-	seen := make(map[string]bool)
+	seen := make(map[[2]array.ChunkKey]bool)
 	addEdge := func(a, b array.ChunkRef, w int64) {
 		if w <= 0 {
 			return
 		}
-		ka, kb := a.Key(), b.Key()
-		if kb < ka {
+		ka, kb := a.Packed(), b.Packed()
+		if kb.Less(ka) {
 			a, b = b, a
 			ka, kb = kb, ka
 		}
-		pair := ka + "|" + kb
+		pair := [2]array.ChunkKey{ka, kb}
 		if seen[pair] {
 			return
 		}
@@ -111,8 +107,7 @@ func BuildGraph(c *cluster.Cluster, arrays []string) (*Graph, error) {
 	for _, cp := range all {
 		s, _ := c.Schema(cp.ref.Array)
 		for _, ncc := range spatialNeighbors(s, cp.ref.Coords) {
-			nref := array.ChunkRef{Array: cp.ref.Array, Coords: ncc}
-			nsize, ok := index[nref.Key()]
+			nsize, ok := g.size[array.MakeChunkKey(cp.key.Array(), ncc.Packed())]
 			if !ok {
 				continue
 			}
@@ -120,15 +115,15 @@ func BuildGraph(c *cluster.Cluster, arrays []string) (*Graph, error) {
 			if nsize < w {
 				w = nsize
 			}
-			addEdge(cp.ref, nref, w/boundaryFraction)
+			addEdge(cp.ref, array.ChunkRef{Array: cp.ref.Array, Coords: ncc}, w/boundaryFraction)
 		}
 	}
 	// Structural-join edges between equal positions of different arrays.
 	for _, refs := range byCoord {
 		for i := 0; i < len(refs); i++ {
 			for j := i + 1; j < len(refs); j++ {
-				w := g.size[refs[i].Key()]
-				if b := g.size[refs[j].Key()]; b < w {
+				w := g.size[refs[i].Packed()]
+				if b := g.size[refs[j].Packed()]; b < w {
 					w = b
 				}
 				addEdge(refs[i], refs[j], w)
@@ -173,7 +168,7 @@ func spatialNeighbors(s *array.Schema, cc array.ChunkCoord) []array.ChunkCoord {
 func (g *Graph) RemoteBytes() int64 {
 	var total int64
 	for _, e := range g.Edges {
-		if g.owner[e.A.Key()] != g.owner[e.B.Key()] {
+		if g.owner[e.A.Packed()] != g.owner[e.B.Packed()] {
 			total += e.Weight
 		}
 	}
@@ -204,41 +199,37 @@ func (g *Graph) Plan(c *cluster.Cluster, maxMoves int, slack float64) []partitio
 		return nil
 	}
 	// Collapse chunks into position units.
-	unitOf := make(map[string]string, len(g.adj))
-	unitChunks := make(map[string][]string)
-	unitSize := make(map[string]int64)
-	chunkKeys := make([]string, 0, len(g.adj))
+	unitOf := make(map[array.ChunkKey]array.CoordKey, len(g.adj))
+	unitChunks := make(map[array.CoordKey][]array.ChunkKey)
+	unitSize := make(map[array.CoordKey]int64)
+	chunkKeys := make([]array.ChunkKey, 0, len(g.adj))
 	for k := range g.adj {
 		chunkKeys = append(chunkKeys, k)
 	}
-	sort.Strings(chunkKeys)
+	sort.Slice(chunkKeys, func(i, j int) bool { return chunkKeys[i].Less(chunkKeys[j]) })
 	for _, k := range chunkKeys {
-		ref, err := array.ParseChunkRef(k)
-		if err != nil {
-			continue
-		}
-		u := ref.Coords.Key()
+		u := k.Coord()
 		unitOf[k] = u
 		unitChunks[u] = append(unitChunks[u], k)
 		unitSize[u] += g.size[k]
 	}
-	units := make([]string, 0, len(unitChunks))
+	units := make([]array.CoordKey, 0, len(unitChunks))
 	for u := range unitChunks {
 		units = append(units, u)
 	}
-	sort.Strings(units)
+	sort.Slice(units, func(i, j int) bool { return units[i].Less(units[j]) })
 	// Unit adjacency: summed inter-unit edge weights.
-	uAdj := make(map[string]map[string]int64)
+	uAdj := make(map[array.CoordKey]map[array.CoordKey]int64)
 	for _, e := range g.Edges {
-		ua, ub := unitOf[e.A.Key()], unitOf[e.B.Key()]
+		ua, ub := unitOf[e.A.Packed()], unitOf[e.B.Packed()]
 		if ua == ub {
 			continue // twin edge, internal to a unit
 		}
 		if uAdj[ua] == nil {
-			uAdj[ua] = make(map[string]int64)
+			uAdj[ua] = make(map[array.CoordKey]int64)
 		}
 		if uAdj[ub] == nil {
-			uAdj[ub] = make(map[string]int64)
+			uAdj[ub] = make(map[array.CoordKey]int64)
 		}
 		uAdj[ua][ub] += e.Weight
 		uAdj[ub][ua] += e.Weight
@@ -250,28 +241,29 @@ func (g *Graph) Plan(c *cluster.Cluster, maxMoves int, slack float64) []partitio
 	target := int64(float64(total) / float64(len(nodes)))
 	limit := int64(slack * float64(target))
 
-	uLabel := make(map[string]partition.NodeID, len(units))
+	uLabel := make(map[array.CoordKey]partition.NodeID, len(units))
 	load := make(map[partition.NodeID]int64)
-	assigned := make(map[string]bool, len(units))
-	attach := make(map[string]int64)
+	assigned := make(map[array.CoordKey]bool, len(units))
+	attach := make(map[array.CoordKey]int64)
 
 	for _, n := range nodes {
 		// Seed: the heaviest unassigned unit (deterministic tie-break by
 		// key) — port positions and dense slabs anchor regions.
-		seed := ""
+		var seed array.CoordKey
+		seeded := false
 		var seedSize int64 = -1
 		for _, u := range units {
 			if !assigned[u] && unitSize[u] > seedSize {
-				seed, seedSize = u, unitSize[u]
+				seed, seedSize, seeded = u, unitSize[u], true
 			}
 		}
-		if seed == "" {
+		if !seeded {
 			break
 		}
 		for k := range attach {
 			delete(attach, k)
 		}
-		grow := func(u string) {
+		grow := func(u array.CoordKey) {
 			assigned[u] = true
 			uLabel[u] = n
 			load[n] += unitSize[u]
@@ -284,14 +276,15 @@ func (g *Graph) Plan(c *cluster.Cluster, maxMoves int, slack float64) []partitio
 		}
 		grow(seed)
 		for load[n] < target {
-			best := ""
+			var best array.CoordKey
+			found := false
 			var bestW int64 = -1
 			for u, w := range attach {
-				if w > bestW || (w == bestW && (best == "" || u < best)) {
-					best, bestW = u, w
+				if w > bestW || (w == bestW && (!found || u.Less(best))) {
+					best, bestW, found = u, w, true
 				}
 			}
-			if best == "" {
+			if !found {
 				break // region's component exhausted
 			}
 			if load[n]+unitSize[best] > limit {
@@ -317,30 +310,29 @@ func (g *Graph) Plan(c *cluster.Cluster, maxMoves int, slack float64) []partitio
 		load[dest] += unitSize[u]
 		assigned[u] = true
 	}
-	label := make(map[string]partition.NodeID, len(chunkKeys))
+	label := make(map[array.ChunkKey]partition.NodeID, len(chunkKeys))
 	for _, k := range chunkKeys {
 		label[k] = uLabel[unitOf[k]]
 	}
-	affinity := func(key string) map[partition.NodeID]int64 {
+	affinity := func(key array.ChunkKey) map[partition.NodeID]int64 {
 		aff := make(map[partition.NodeID]int64)
 		for _, ei := range g.adj[key] {
 			e := g.Edges[ei]
-			other := e.B.Key()
+			other := e.B.Packed()
 			if other == key {
-				other = e.A.Key()
+				other = e.A.Packed()
 			}
 			aff[label[other]] += e.Weight
 		}
 		return aff
 	}
-	keys := chunkKeys
 	// Emit the diff, largest locality gain first, capped at maxMoves.
 	type cand struct {
-		key  string
+		key  array.ChunkKey
 		gain int64
 	}
 	var cands []cand
-	for _, key := range keys {
+	for _, key := range chunkKeys {
 		if label[key] == g.owner[key] {
 			continue
 		}
@@ -351,19 +343,15 @@ func (g *Graph) Plan(c *cluster.Cluster, maxMoves int, slack float64) []partitio
 		if cands[i].gain != cands[j].gain {
 			return cands[i].gain > cands[j].gain
 		}
-		return cands[i].key < cands[j].key
+		return cands[i].key.Less(cands[j].key)
 	})
 	if len(cands) > maxMoves {
 		cands = cands[:maxMoves]
 	}
 	var moves []partition.Move
 	for _, cd := range cands {
-		ref, err := array.ParseChunkRef(cd.key)
-		if err != nil {
-			continue // internal keys always parse; defensive
-		}
 		moves = append(moves, partition.Move{
-			Ref:  ref,
+			Ref:  cd.key.Ref(),
 			From: g.owner[cd.key],
 			To:   label[cd.key],
 			Size: g.size[cd.key],

@@ -82,3 +82,21 @@ func BenchmarkParseSchema(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkCellIter measures a full scan over a chunk's occupied cells —
+// the inner loop of every query operator — via the no-alloc CellInto (the
+// string-key-era loop called Cell, allocating one Coord per cell).
+func BenchmarkCellIter(b *testing.B) {
+	c := benchChunk(b, 2000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sum int64
+	for i := 0; i < b.N; i++ {
+		cell := make(Coord, 0, 2)
+		for j := 0; j < c.Len(); j++ {
+			cell = c.CellInto(j, cell)
+			sum += cell[0] + cell[1]
+		}
+	}
+	_ = sum
+}

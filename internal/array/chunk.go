@@ -21,24 +21,47 @@ type Chunk struct {
 	DimCols [][]int64
 	// AttrCols[a] is the vertical segment of attribute a.
 	AttrCols []Column
+
+	// key is the packed identity, computed once at construction so the
+	// placement hot path (catalog inserts, ownership lookups) never
+	// rebuilds it.
+	key ChunkKey
 }
 
 // NewChunk returns an empty chunk at the given grid position.
-func NewChunk(s *Schema, cc ChunkCoord) *Chunk {
+func NewChunk(s *Schema, cc ChunkCoord) *Chunk { return NewChunkCap(s, cc, 0) }
+
+// NewChunkCap returns an empty chunk preallocated for n cells: dimension
+// and attribute columns grow once instead of doubling through repeated
+// appends. n is a hint, not a limit.
+func NewChunkCap(s *Schema, cc ChunkCoord, n int) *Chunk {
 	if !s.ValidChunk(cc) {
 		panic(fmt.Sprintf("array: chunk coordinate %v outside %s grid", cc, s.Name))
 	}
-	c := &Chunk{Schema: s, Coords: cc.Clone()}
+	c := &Chunk{Schema: s, Coords: cc.Clone(), key: MakeChunkKey(s.ID(), cc.Packed())}
 	c.DimCols = make([][]int64, len(s.Dims))
+	for d := range c.DimCols {
+		c.DimCols[d] = make([]int64, 0, n)
+	}
 	c.AttrCols = make([]Column, len(s.Attrs))
 	for i, a := range s.Attrs {
-		c.AttrCols[i] = NewColumn(a.Type)
+		c.AttrCols[i] = NewColumnCap(a.Type, n)
 	}
 	return c
 }
 
-// Ref returns the chunk's global identity.
+// Ref returns the chunk's global identity in reference form.
 func (c *Chunk) Ref() ChunkRef { return ChunkRef{Array: c.Schema.Name, Coords: c.Coords} }
+
+// Key returns the chunk's packed identity without allocating. For
+// hand-assembled chunks (no NewChunk) it packs on demand without caching,
+// so the method stays safe for concurrent use.
+func (c *Chunk) Key() ChunkKey {
+	if c.key.IsZero() {
+		return c.Ref().Packed()
+	}
+	return c.key
+}
 
 // Len returns the number of occupied cells.
 func (c *Chunk) Len() int {
@@ -79,11 +102,18 @@ func (c *Chunk) ProjectedSizeBytes(attrs []int) int64 {
 
 // Cell returns the coordinate of occupied cell i.
 func (c *Chunk) Cell(i int) Coord {
-	out := make(Coord, len(c.DimCols))
+	return c.CellInto(i, make(Coord, 0, len(c.DimCols)))
+}
+
+// CellInto writes the coordinate of occupied cell i into buf (reusing its
+// capacity) and returns it — the allocation-free variant of Cell for scan
+// loops. Pass the previous iteration's return value as buf.
+func (c *Chunk) CellInto(i int, buf Coord) Coord {
+	buf = buf[:0]
 	for d := range c.DimCols {
-		out[d] = c.DimCols[d][i]
+		buf = append(buf, c.DimCols[d][i])
 	}
-	return out
+	return buf
 }
 
 // AppendIntCell adds a cell whose attribute values are all integer-family.
@@ -125,7 +155,7 @@ func (c *Chunk) appendCoords(cell Coord) {
 	if len(cell) != len(c.DimCols) {
 		panic(fmt.Sprintf("array: cell %v has %d dims, chunk has %d", cell, len(cell), len(c.DimCols)))
 	}
-	if c.Schema.ChunkOf(cell).Key() != c.Coords.Key() {
+	if c.Schema.PackedChunkOf(cell) != c.Key().Coord() {
 		panic(fmt.Sprintf("array: cell %v belongs to chunk %v, not %v", cell, c.Schema.ChunkOf(cell), c.Coords))
 	}
 	for d := range c.DimCols {
@@ -136,11 +166,9 @@ func (c *Chunk) appendCoords(cell Coord) {
 // Filter returns the row indexes of cells for which keep returns true.
 func (c *Chunk) Filter(keep func(cell Coord) bool) []int {
 	var rows []int
-	cell := make(Coord, len(c.DimCols))
+	cell := make(Coord, 0, len(c.DimCols))
 	for i := 0; i < c.Len(); i++ {
-		for d := range c.DimCols {
-			cell[d] = c.DimCols[d][i]
-		}
+		cell = c.CellInto(i, cell)
 		if keep(cell) {
 			rows = append(rows, i)
 		}
@@ -151,9 +179,9 @@ func (c *Chunk) Filter(keep func(cell Coord) bool) []int {
 // Subset returns a new chunk holding only the given rows (used by selection
 // operators); the result shares no storage with the receiver.
 func (c *Chunk) Subset(rows []int) *Chunk {
-	out := NewChunk(c.Schema, c.Coords)
+	out := NewChunkCap(c.Schema, c.Coords, len(rows))
 	for d := range c.DimCols {
-		col := make([]int64, 0, len(rows))
+		col := out.DimCols[d]
 		for _, r := range rows {
 			col = append(col, c.DimCols[d][r])
 		}
@@ -180,13 +208,15 @@ func (c *Chunk) Validate() error {
 			return fmt.Errorf("array: chunk %s attr %d has %d values, want %d", c.Ref(), a, col.Len(), n)
 		}
 	}
+	want := c.Key().Coord()
+	cell := make(Coord, 0, len(c.DimCols))
 	for i := 0; i < n; i++ {
-		cell := c.Cell(i)
+		cell = c.CellInto(i, cell)
 		if !c.Schema.ValidCell(cell) {
 			return fmt.Errorf("array: chunk %s cell %v outside schema range", c.Ref(), cell)
 		}
-		if got := c.Schema.ChunkOf(cell); got.Key() != c.Coords.Key() {
-			return fmt.Errorf("array: chunk %s holds cell %v that belongs to %v", c.Ref(), cell, got)
+		if c.Schema.PackedChunkOf(cell) != want {
+			return fmt.Errorf("array: chunk %s holds cell %v that belongs to %v", c.Ref(), cell, c.Schema.ChunkOf(cell))
 		}
 	}
 	return nil

@@ -171,14 +171,19 @@ func (c *StrColumn) AppendFrom(src Column, i int) {
 }
 
 // NewColumn returns an empty column of the appropriate concrete type for t.
-func NewColumn(t DataType) Column {
+func NewColumn(t DataType) Column { return NewColumnCap(t, 0) }
+
+// NewColumnCap returns an empty column preallocated for n values, so bulk
+// appends (generators, Subset) grow the backing array once instead of
+// doubling repeatedly.
+func NewColumnCap(t DataType, n int) Column {
 	switch t {
 	case Int32, Int64, Bool, Char:
-		return NewIntColumn(t)
+		return &IntColumn{T: t, Vals: make([]int64, 0, n)}
 	case Float32, Float64:
-		return NewFloatColumn(t)
+		return &FloatColumn{T: t, Vals: make([]float64, 0, n)}
 	case String:
-		return NewStrColumn()
+		return &StrColumn{Vals: make([]string, 0, n)}
 	default:
 		panic(fmt.Sprintf("array: NewColumn of unknown type %v", t))
 	}

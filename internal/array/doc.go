@@ -1,0 +1,38 @@
+// Package array implements the SciDB-style multidimensional array data model
+// that the elasticity layer is built on: schemas with named, chunked
+// dimensions and typed attributes; sparse columnar chunks that are the unit
+// of I/O and placement; vertical partitioning of attributes into separately
+// accounted segments; and the chunk-grid arithmetic (cell→chunk mapping,
+// neighbourhoods, origins) that the spatial partitioners and queries rely on.
+//
+// The model follows Section 2 of Duggan & Stonebraker, "Incremental
+// Elasticity for Array Databases" (SIGMOD 2014): only non-empty cells are
+// stored, physical chunk size is the number of occupied cells times the cell
+// payload, and each attribute is stored as its own vertical segment.
+//
+// # Chunk identity
+//
+// A chunk has two identity representations:
+//
+//   - ChunkRef / the string form ChunkRef.Key ("Array:c0/c1/…"). This is
+//     the wire and durable format: DiskStore file names, ParseChunkRef, and
+//     human-readable errors all use it, and it is dimension-unlimited.
+//   - ChunkKey, the packed form used as the map key on the placement hot
+//     path (ownership catalog, node stores, partitioner tables, co-access
+//     graph). It is a fixed-size comparable struct: the array name interned
+//     to a uint32 ArrayID via the process-wide registry, plus the chunk
+//     coordinates packed into a [MaxKeyDims]int64 with an explicit
+//     dimension count. Packing and lookups allocate nothing.
+//
+// The packed form carries at most MaxKeyDims (4) dimensions — enough for
+// every workload in this repository — and NewSchema enforces the same limit
+// so schema-derived coordinates always pack. Coordinates are stored as raw
+// int64 values (negatives included); two keys are equal exactly when array
+// and per-dimension coordinates are equal, and unused slots never
+// contribute because the dimension count disambiguates prefixes. CoordKey
+// is the array-less packing used where code already works within a single
+// array (query slab maps, workload generators, grid-position units).
+//
+// Both forms render and parse identically on the wire, so swapping map keys
+// from strings to ChunkKey changes no file name and no serialized byte.
+package array

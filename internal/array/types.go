@@ -1,14 +1,3 @@
-// Package array implements the SciDB-style multidimensional array data model
-// that the elasticity layer is built on: schemas with named, chunked
-// dimensions and typed attributes; sparse columnar chunks that are the unit
-// of I/O and placement; vertical partitioning of attributes into separately
-// accounted segments; and the chunk-grid arithmetic (cell→chunk mapping,
-// neighbourhoods, origins) that the spatial partitioners and queries rely on.
-//
-// The model follows Section 2 of Duggan & Stonebraker, "Incremental
-// Elasticity for Array Databases" (SIGMOD 2014): only non-empty cells are
-// stored, physical chunk size is the number of occupied cells times the cell
-// payload, and each attribute is stored as its own vertical segment.
 package array
 
 import (
@@ -173,6 +162,20 @@ type Schema struct {
 	Name  string
 	Attrs []Attribute
 	Dims  []Dimension
+
+	// id is the interned array identity, set by NewSchema so hot-path key
+	// packing never consults the intern table.
+	id ArrayID
+}
+
+// ID returns the interned array identity. Schemas built by NewSchema carry
+// it precomputed; for hand-assembled values it falls back to the intern
+// table without caching (so the method stays safe for concurrent use).
+func (s *Schema) ID() ArrayID {
+	if s.id != 0 {
+		return s.id
+	}
+	return InternArrayName(s.Name)
 }
 
 // NewSchema validates and returns a schema. It rejects empty names,
@@ -187,6 +190,12 @@ func NewSchema(name string, attrs []Attribute, dims []Dimension) (*Schema, error
 	}
 	if len(dims) == 0 {
 		return nil, fmt.Errorf("array: schema %s needs at least one dimension", name)
+	}
+	if len(dims) > MaxKeyDims {
+		// Packed chunk keys (see doc.go) carry at most MaxKeyDims
+		// coordinates; rejecting wider schemas here keeps every
+		// schema-derived coordinate packable.
+		return nil, fmt.Errorf("array: schema %s has %d dimensions, max %d", name, len(dims), MaxKeyDims)
 	}
 	seen := make(map[string]bool, len(attrs)+len(dims))
 	for _, a := range attrs {
@@ -213,7 +222,12 @@ func NewSchema(name string, attrs []Attribute, dims []Dimension) (*Schema, error
 			return nil, fmt.Errorf("array: schema %s dimension %s has inverted range [%d,%d]", name, d.Name, d.Start, d.End)
 		}
 	}
-	s := &Schema{Name: name, Attrs: append([]Attribute(nil), attrs...), Dims: append([]Dimension(nil), dims...)}
+	s := &Schema{
+		Name:  name,
+		Attrs: append([]Attribute(nil), attrs...),
+		Dims:  append([]Dimension(nil), dims...),
+		id:    InternArrayName(name),
+	}
 	return s, nil
 }
 

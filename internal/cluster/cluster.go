@@ -25,7 +25,7 @@ type Cluster struct {
 	part    partition.Partitioner
 	nodes   map[partition.NodeID]*Node
 	order   []partition.NodeID // ascending
-	owner   map[string]partition.NodeID
+	owner   map[array.ChunkKey]partition.NodeID
 	schemas map[string]*array.Schema
 	nextID  partition.NodeID
 
@@ -87,7 +87,7 @@ func New(cfg Config) (*Cluster, error) {
 	c := &Cluster{
 		cost:         cost,
 		nodes:        make(map[partition.NodeID]*Node),
-		owner:        make(map[string]partition.NodeID),
+		owner:        make(map[array.ChunkKey]partition.NodeID),
 		schemas:      make(map[string]*array.Schema),
 		nodeCapacity: cfg.NodeCapacity,
 		storageDir:   cfg.StorageDir,
@@ -137,9 +137,10 @@ func (c *Cluster) NodeChunks(n partition.NodeID) []array.ChunkInfo {
 	return node.ChunkInfos()
 }
 
-// Owner implements partition.State.
-func (c *Cluster) Owner(ref array.ChunkRef) (partition.NodeID, bool) {
-	n, ok := c.owner[ref.Key()]
+// Owner implements partition.State: a single map probe on the packed key,
+// no allocation. Callers holding a ChunkRef convert with ref.Packed().
+func (c *Cluster) Owner(key array.ChunkKey) (partition.NodeID, bool) {
+	n, ok := c.owner[key]
 	return n, ok
 }
 
@@ -222,7 +223,7 @@ func (c *Cluster) RSD() float64 { return stats.RSD(c.Loads()) }
 func (c *Cluster) Insert(chunks []*array.Chunk) (Duration, error) {
 	ordered := append([]*array.Chunk(nil), chunks...)
 	sort.Slice(ordered, func(i, j int) bool {
-		return ordered[i].Ref().Key() < ordered[j].Ref().Key()
+		return ordered[i].Key().Less(ordered[j].Key())
 	})
 	coord := c.Coordinator()
 	var localBytes, remoteBytes int64
@@ -230,15 +231,15 @@ func (c *Cluster) Insert(chunks []*array.Chunk) (Duration, error) {
 		if _, ok := c.schemas[ch.Schema.Name]; !ok {
 			return 0, fmt.Errorf("cluster: insert into undefined array %s", ch.Schema.Name)
 		}
-		key := ch.Ref().Key()
+		key := ch.Key()
 		if _, dup := c.owner[key]; dup {
-			return 0, fmt.Errorf("cluster: chunk %s already stored (no-overwrite model)", key)
+			return 0, fmt.Errorf("cluster: chunk %s already stored (no-overwrite model)", ch.Ref())
 		}
 		info := array.ChunkInfo{Ref: ch.Ref(), Size: ch.SizeBytes()}
 		dest := c.part.Place(info, c)
 		node, ok := c.nodes[dest]
 		if !ok {
-			return 0, fmt.Errorf("cluster: partitioner placed %s on unknown node %d", key, dest)
+			return 0, fmt.Errorf("cluster: partitioner placed %s on unknown node %d", ch.Ref(), dest)
 		}
 		if err := node.put(ch); err != nil {
 			return 0, err
@@ -388,7 +389,8 @@ func (c *Cluster) Migrate(moves []partition.Move) (Duration, error) {
 // destination, update the catalog. The round-trip through the codec keeps
 // the simulation honest about what actually crosses the wire.
 func (c *Cluster) executeMove(m partition.Move) error {
-	cur, ok := c.owner[m.Ref.Key()]
+	key := m.Ref.Packed()
+	cur, ok := c.owner[key]
 	if !ok {
 		return fmt.Errorf("cluster: plan moves unknown chunk %s", m.Ref)
 	}
@@ -422,7 +424,7 @@ func (c *Cluster) executeMove(m partition.Move) error {
 	if err := dst.put(decoded); err != nil {
 		return err
 	}
-	c.owner[m.Ref.Key()] = m.To
+	c.owner[key] = m.To
 	return nil
 }
 
@@ -435,13 +437,12 @@ func (c *Cluster) Validate() error {
 		node := c.nodes[id]
 		var bytes int64
 		for _, ch := range node.Chunks() {
-			key := ch.Ref().Key()
-			owner, ok := c.owner[key]
+			owner, ok := c.owner[ch.Key()]
 			if !ok {
-				return fmt.Errorf("cluster: node %d stores uncatalogued chunk %s", id, key)
+				return fmt.Errorf("cluster: node %d stores uncatalogued chunk %s", id, ch.Ref())
 			}
 			if owner != id {
-				return fmt.Errorf("cluster: catalog places %s on %d but it lives on %d", key, owner, id)
+				return fmt.Errorf("cluster: catalog places %s on %d but it lives on %d", ch.Ref(), owner, id)
 			}
 			if err := ch.Validate(); err != nil {
 				return err

@@ -1,0 +1,78 @@
+package cluster_test
+
+import (
+	"testing"
+
+	"repro/internal/array"
+	"repro/internal/benchfixture"
+	"repro/internal/cluster"
+)
+
+// These benchmarks run on the shared MODIS-shaped fixture so that
+// `elasticbench -json` (which records BENCH_PR<N>.json) measures exactly
+// the same workload; they track the chunk-identity hot path PR over PR.
+
+func setupHotPath(b *testing.B) (*cluster.Cluster, []*array.Chunk) {
+	b.Helper()
+	c, chunks, err := benchfixture.ClusterAndChunks()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := c.Insert(chunks); err != nil {
+		b.Fatal(err)
+	}
+	return c, chunks
+}
+
+// BenchmarkOwnerLookup measures the placement hot path's core operation:
+// mapping a resident chunk to its owning node, as the catalog, queries and
+// validation do on every touch. Chunks carry their packed key, so this is
+// a single map probe (the string-key baseline rebuilt "Band1:t/x/y" per
+// lookup).
+func BenchmarkOwnerLookup(b *testing.B) {
+	c, chunks := setupHotPath(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := c.Owner(chunks[i%len(chunks)].Key()); !ok {
+			b.Fatal("chunk lost")
+		}
+	}
+}
+
+// BenchmarkOwnerLookupFromRef is the same lookup starting from a bare
+// ChunkRef (no cached key), paying the array-name intern on every call —
+// the partitioners' AddNodes path.
+func BenchmarkOwnerLookupFromRef(b *testing.B) {
+	c, chunks := setupHotPath(b)
+	refs := make([]array.ChunkRef, len(chunks))
+	for i, ch := range chunks {
+		refs[i] = ch.Ref()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := c.Owner(refs[i%len(refs)].Packed()); !ok {
+			b.Fatal("chunk lost")
+		}
+	}
+}
+
+// BenchmarkInsertChunks measures end-to-end ingest of a slab of chunks,
+// catalog updates included.
+func BenchmarkInsertChunks(b *testing.B) {
+	chunks := benchfixture.Chunks(benchfixture.NumChunks, benchfixture.CellsPerChunk)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		c, err := benchfixture.Cluster(4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := c.Insert(chunks); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

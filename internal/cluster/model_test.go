@@ -83,7 +83,7 @@ func runRandomSequence(t *testing.T, kind string, seed int64) {
 			}
 			key := keys[rng.Intn(len(keys))]
 			ref, _ := array.ParseChunkRef(key)
-			from, _ := c.Owner(ref)
+			from, _ := c.Owner(ref.Packed())
 			to := c.Nodes()[rng.Intn(c.NumNodes())]
 			if to != from {
 				if _, err := c.Migrate([]partition.Move{{Ref: ref, From: from, To: to, Size: model[key]}}); err != nil {
@@ -107,7 +107,7 @@ func runRandomSequence(t *testing.T, kind string, seed int64) {
 		}
 		for key := range model {
 			ref, _ := array.ParseChunkRef(key)
-			owner, ok := c.Owner(ref)
+			owner, ok := c.Owner(ref.Packed())
 			if !ok {
 				t.Fatalf("op %d: chunk %s lost", op, key)
 			}
@@ -128,7 +128,7 @@ func TestMigrateValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	ref := chunks[0].Ref()
-	owner, _ := c.Owner(ref)
+	owner, _ := c.Owner(ref.Packed())
 	other := partition.NodeID(1 - int(owner))
 	// Wrong source node.
 	if _, err := c.Migrate([]partition.Move{{Ref: ref, From: other, To: owner, Size: 1}}); err == nil {
@@ -152,7 +152,7 @@ func TestMigrateValidation(t *testing.T) {
 	if d <= 0 {
 		t.Error("migration must take time")
 	}
-	if got, _ := c.Owner(ref); got != other {
+	if got, _ := c.Owner(ref.Packed()); got != other {
 		t.Error("migration did not move the chunk")
 	}
 }

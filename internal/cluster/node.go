@@ -20,7 +20,7 @@ type Node struct {
 	// replicas holds fully replicated arrays (e.g. the AIS vessel
 	// array), present on every node and excluded from partitioned
 	// storage accounting.
-	replicas map[string]*array.Chunk
+	replicas map[array.ChunkKey]*array.Chunk
 	repBytes int64
 }
 
@@ -32,7 +32,7 @@ func newNode(id partition.NodeID, capacity int64, store ChunkStore) *Node {
 		ID:       id,
 		Capacity: capacity,
 		store:    store,
-		replicas: make(map[string]*array.Chunk),
+		replicas: make(map[array.ChunkKey]*array.Chunk),
 	}
 }
 
@@ -69,12 +69,12 @@ func (n *Node) Chunk(ref array.ChunkRef) (*array.Chunk, bool) { return n.get(ref
 
 // Replica returns the resident replicated chunk with the given identity.
 func (n *Node) Replica(ref array.ChunkRef) (*array.Chunk, bool) {
-	c, ok := n.replicas[ref.Key()]
+	c, ok := n.replicas[ref.Packed()]
 	return c, ok
 }
 
 func (n *Node) putReplica(c *array.Chunk) {
-	key := c.Ref().Key()
+	key := c.Key()
 	if old, ok := n.replicas[key]; ok {
 		n.repBytes -= old.SizeBytes()
 	}
@@ -96,11 +96,11 @@ func (n *Node) Chunks() []*array.Chunk {
 
 // Replicas returns the node's replicated chunks in canonical order.
 func (n *Node) Replicas() []*array.Chunk {
-	keys := make([]string, 0, len(n.replicas))
+	keys := make([]array.ChunkKey, 0, len(n.replicas))
 	for k := range n.replicas {
 		keys = append(keys, k)
 	}
-	sort.Strings(keys)
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Less(keys[j]) })
 	out := make([]*array.Chunk, 0, len(keys))
 	for _, k := range keys {
 		out = append(out, n.replicas[k])

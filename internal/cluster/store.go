@@ -29,23 +29,24 @@ type ChunkStore interface {
 	Len() int
 }
 
-// MemStore is the default in-memory chunk store. The zero value is not
+// MemStore is the default in-memory chunk store, keyed by the packed chunk
+// identity so lookups and inserts allocate nothing. The zero value is not
 // usable; construct with NewMemStore.
 type MemStore struct {
-	chunks map[string]*array.Chunk
+	chunks map[array.ChunkKey]*array.Chunk
 	bytes  int64
 }
 
 // NewMemStore returns an empty in-memory store.
 func NewMemStore() *MemStore {
-	return &MemStore{chunks: make(map[string]*array.Chunk)}
+	return &MemStore{chunks: make(map[array.ChunkKey]*array.Chunk)}
 }
 
 // Put implements ChunkStore.
 func (s *MemStore) Put(c *array.Chunk) error {
-	key := c.Ref().Key()
+	key := c.Key()
 	if _, dup := s.chunks[key]; dup {
-		return fmt.Errorf("cluster: store already holds chunk %s", key)
+		return fmt.Errorf("cluster: store already holds chunk %s", c.Ref())
 	}
 	s.chunks[key] = c
 	s.bytes += c.SizeBytes()
@@ -54,10 +55,10 @@ func (s *MemStore) Put(c *array.Chunk) error {
 
 // Take implements ChunkStore.
 func (s *MemStore) Take(ref array.ChunkRef) (*array.Chunk, error) {
-	key := ref.Key()
+	key := ref.Packed()
 	c, ok := s.chunks[key]
 	if !ok {
-		return nil, fmt.Errorf("cluster: store does not hold chunk %s", key)
+		return nil, fmt.Errorf("cluster: store does not hold chunk %s", ref)
 	}
 	delete(s.chunks, key)
 	s.bytes -= c.SizeBytes()
@@ -66,17 +67,17 @@ func (s *MemStore) Take(ref array.ChunkRef) (*array.Chunk, error) {
 
 // Get implements ChunkStore.
 func (s *MemStore) Get(ref array.ChunkRef) (*array.Chunk, bool) {
-	c, ok := s.chunks[ref.Key()]
+	c, ok := s.chunks[ref.Packed()]
 	return c, ok
 }
 
 // Refs implements ChunkStore.
 func (s *MemStore) Refs() []array.ChunkRef {
-	keys := make([]string, 0, len(s.chunks))
+	keys := make([]array.ChunkKey, 0, len(s.chunks))
 	for k := range s.chunks {
 		keys = append(keys, k)
 	}
-	sort.Strings(keys)
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Less(keys[j]) })
 	out := make([]array.ChunkRef, 0, len(keys))
 	for _, k := range keys {
 		out = append(out, s.chunks[k].Ref())

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"testing"
@@ -41,8 +42,11 @@ func TestMemStoreBasics(t *testing.T) {
 	}
 	refs := s.Refs()
 	for i := 1; i < len(refs); i++ {
-		if refs[i].Key() <= refs[i-1].Key() {
-			t.Error("Refs must be sorted")
+		prev, cur := refs[i-1], refs[i]
+		inOrder := prev.Array < cur.Array ||
+			(prev.Array == cur.Array && prev.Coords.Less(cur.Coords))
+		if !inOrder {
+			t.Error("Refs must be in canonical (array, coordinate) order")
 		}
 	}
 	got, err := s.Take(chunks[2].Ref())
@@ -199,4 +203,66 @@ func itoa(n int) string {
 		n /= 10
 	}
 	return string(digits)
+}
+
+// TestDiskStoreFileNamesUnchanged pins the exact on-disk file names (the
+// escaped string key format) so the packed-key refactor can never change
+// what a store directory looks like: stores written before the refactor
+// must reopen byte-for-byte after it.
+func TestDiskStoreFileNamesUnchanged(t *testing.T) {
+	dir := t.TempDir()
+	schema := testSchema()
+	s, err := NewDiskStore(dir, lookupFor(schema))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cc := range []array.ChunkCoord{{0, 0}, {3, 12}, {15, 7}} {
+		ch := array.NewChunk(schema, cc)
+		origin := schema.ChunkOrigin(cc)
+		ch.AppendCell(origin, []array.CellValue{{Float: 1.0}})
+		if err := s.Put(ch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := map[string]bool{
+		"A-0_0.chunk":  true,
+		"A-3_12.chunk": true,
+		"A-15_7.chunk": true,
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != len(want) {
+		t.Fatalf("%d files on disk, want %d", len(entries), len(want))
+	}
+	for _, e := range entries {
+		if !want[e.Name()] {
+			t.Errorf("unexpected file name %q", e.Name())
+		}
+	}
+	// A directory with exactly these legacy names reopens cleanly.
+	re, err := OpenDiskStore(dir, lookupFor(schema))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != len(want) {
+		t.Fatalf("reopened %d chunks, want %d", re.Len(), len(want))
+	}
+	// And the wire bytes round-trip identically through the reopened store.
+	for _, ref := range s.Refs() {
+		a, _ := s.Get(ref)
+		b, _ := re.Get(ref)
+		wa, err := array.EncodeChunk(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wb, err := array.EncodeChunk(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(wa, wb) {
+			t.Errorf("chunk %s wire bytes differ after reopen", ref)
+		}
+	}
 }

@@ -53,8 +53,9 @@ func BenchmarkAddNodes(b *testing.B) {
 }
 
 func BenchmarkHashRef(b *testing.B) {
-	ref := array.ChunkRef{Array: "Band1", Coords: array.ChunkCoord{3, 17, 250}}
+	key := array.ChunkRef{Array: "Band1", Coords: array.ChunkCoord{3, 17, 250}}.Packed()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		_ = hashRef(ref)
+		_ = hashRef(key)
 	}
 }

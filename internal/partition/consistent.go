@@ -43,9 +43,9 @@ func (p *ConsistentHash) Features() Features {
 
 // Place implements Partitioner: the chunk's owner is the first node
 // clockwise from its hashed grid position (position-keyed, so congruent
-// arrays collocate equal chunk coordinates — see hashRef).
+// arrays collocate equal chunk coordinates — see hashCoord).
 func (p *ConsistentHash) Place(info array.ChunkInfo, st State) NodeID {
-	return NodeID(p.r.Owner(info.Ref.Coords.Key()))
+	return NodeID(p.r.OwnerHash(hashCoord(info.Ref.Coords.Packed())))
 }
 
 // AddNodes implements Partitioner. New nodes hash themselves onto the
@@ -62,8 +62,8 @@ func (p *ConsistentHash) AddNodes(newNodes []NodeID, st State) ([]Move, error) {
 	}
 	var moves []Move
 	for _, info := range allChunks(st) {
-		want := NodeID(p.r.Owner(info.Ref.Coords.Key()))
-		cur, _ := st.Owner(info.Ref)
+		want := NodeID(p.r.OwnerHash(hashCoord(info.Ref.Coords.Packed())))
+		cur, _ := st.Owner(info.Ref.Packed())
 		if cur != want {
 			moves = append(moves, Move{Ref: info.Ref, From: cur, To: want, Size: info.Size})
 		}

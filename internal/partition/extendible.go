@@ -65,7 +65,7 @@ func (p *ExtendibleHash) Features() Features {
 // Place implements Partitioner: directory lookup on the chunk hash's
 // trailing bits.
 func (p *ExtendibleHash) Place(info array.ChunkInfo, st State) NodeID {
-	return p.owner(hashRef(info.Ref))
+	return p.owner(hashRef(info.Ref.Packed()))
 }
 
 func (p *ExtendibleHash) owner(h uint64) NodeID {
@@ -89,12 +89,16 @@ func (p *ExtendibleHash) AddNodes(newNodes []NodeID, st State) ([]Move, error) {
 	// Planned load per node and bucket residence of every chunk under
 	// the evolving directory.
 	load := make(map[NodeID]int64)
-	home := make(map[string]NodeID)
+	home := make(map[array.ChunkKey]NodeID)
 	chunks := allChunks(st)
-	for _, info := range chunks {
-		n := p.owner(hashRef(info.Ref))
+	keys := make([]array.ChunkKey, len(chunks))
+	hashes := make([]uint64, len(chunks))
+	for i, info := range chunks {
+		keys[i] = info.Ref.Packed()
+		hashes[i] = hashRef(keys[i])
+		n := p.owner(hashes[i])
 		load[n] += info.Size
-		home[info.Ref.Key()] = n
+		home[keys[i]] = n
 	}
 	for _, n := range st.Nodes() {
 		if _, ok := load[n]; !ok {
@@ -103,7 +107,7 @@ func (p *ExtendibleHash) AddNodes(newNodes []NodeID, st State) ([]Move, error) {
 	}
 	for _, newNode := range newNodes {
 		victim := maxLoadNode(load)
-		bi, err := p.largestBucketOf(victim, chunks)
+		bi, err := p.largestBucketOf(victim, chunks, hashes)
 		if err != nil {
 			return nil, err
 		}
@@ -116,12 +120,11 @@ func (p *ExtendibleHash) AddNodes(newNodes []NodeID, st State) ([]Move, error) {
 		p.buckets[bi] = lower
 		p.buckets = append(p.buckets, upper)
 		// Re-home the chunks that fell into the upper half.
-		for _, info := range chunks {
-			h := hashRef(info.Ref)
-			if upper.matches(h) {
+		for i, info := range chunks {
+			if upper.matches(hashes[i]) {
 				load[victim] -= info.Size
 				load[newNode] += info.Size
-				home[info.Ref.Key()] = newNode
+				home[keys[i]] = newNode
 			}
 		}
 		if _, ok := load[newNode]; !ok {
@@ -129,9 +132,9 @@ func (p *ExtendibleHash) AddNodes(newNodes []NodeID, st State) ([]Move, error) {
 		}
 	}
 	var moves []Move
-	for _, info := range chunks {
-		want := home[info.Ref.Key()]
-		cur, _ := st.Owner(info.Ref)
+	for i, info := range chunks {
+		want := home[keys[i]]
+		cur, _ := st.Owner(keys[i])
 		if cur != want {
 			moves = append(moves, Move{Ref: info.Ref, From: cur, To: want, Size: info.Size})
 		}
@@ -143,7 +146,7 @@ func (p *ExtendibleHash) AddNodes(newNodes []NodeID, st State) ([]Move, error) {
 // largestBucketOf returns the index of the victim node's bucket holding
 // the most bytes (ties: shallowest depth, then lowest pattern — splitting
 // broad buckets first keeps the directory shallow).
-func (p *ExtendibleHash) largestBucketOf(victim NodeID, chunks []array.ChunkInfo) (int, error) {
+func (p *ExtendibleHash) largestBucketOf(victim NodeID, chunks []array.ChunkInfo, hashes []uint64) (int, error) {
 	type cand struct {
 		idx  int
 		size int64
@@ -154,9 +157,9 @@ func (p *ExtendibleHash) largestBucketOf(victim NodeID, chunks []array.ChunkInfo
 			continue
 		}
 		var size int64
-		for _, info := range chunks {
-			if b.matches(hashRef(info.Ref)) {
-				size += info.Size
+		for j := range chunks {
+			if b.matches(hashes[j]) {
+				size += chunks[j].Size
 			}
 		}
 		cands = append(cands, cand{idx: i, size: size})

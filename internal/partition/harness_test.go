@@ -14,15 +14,15 @@ import (
 // exercise partitioners without the full cluster machinery.
 type fakeState struct {
 	nodes  []NodeID
-	chunks map[string]array.ChunkInfo
-	owner  map[string]NodeID
+	chunks map[array.ChunkKey]array.ChunkInfo
+	owner  map[array.ChunkKey]NodeID
 }
 
 func newFakeState(nodes ...NodeID) *fakeState {
 	return &fakeState{
 		nodes:  append([]NodeID(nil), nodes...),
-		chunks: make(map[string]array.ChunkInfo),
-		owner:  make(map[string]NodeID),
+		chunks: make(map[array.ChunkKey]array.ChunkInfo),
+		owner:  make(map[array.ChunkKey]NodeID),
 	}
 }
 
@@ -53,8 +53,8 @@ func (s *fakeState) NodeChunks(n NodeID) []array.ChunkInfo {
 	return out
 }
 
-func (s *fakeState) Owner(ref array.ChunkRef) (NodeID, bool) {
-	n, ok := s.owner[ref.Key()]
+func (s *fakeState) Owner(key array.ChunkKey) (NodeID, bool) {
+	n, ok := s.owner[key]
 	return n, ok
 }
 
@@ -65,8 +65,8 @@ func (s *fakeState) ingest(t testing.TB, p Partitioner, info array.ChunkInfo) No
 	if !s.hasNode(n) {
 		t.Fatalf("%s placed %s on unknown node %d", p.Name(), info.Ref, n)
 	}
-	s.chunks[info.Ref.Key()] = info
-	s.owner[info.Ref.Key()] = n
+	s.chunks[info.Ref.Packed()] = info
+	s.owner[info.Ref.Packed()] = n
 	return n
 }
 
@@ -88,13 +88,14 @@ func (s *fakeState) scaleOut(t testing.TB, p Partitioner, newNodes ...NodeID) []
 		t.Fatalf("%s.AddNodes(%v): %v", p.Name(), newNodes, err)
 	}
 	s.nodes = append(s.nodes, newNodes...)
-	seen := make(map[string]bool)
+	seen := make(map[array.ChunkKey]bool)
 	for _, m := range moves {
-		if seen[m.Ref.Key()] {
+		key := m.Ref.Packed()
+		if seen[key] {
 			t.Fatalf("%s plan moves chunk %s twice", p.Name(), m.Ref)
 		}
-		seen[m.Ref.Key()] = true
-		cur, ok := s.owner[m.Ref.Key()]
+		seen[key] = true
+		cur, ok := s.owner[key]
 		if !ok {
 			t.Fatalf("%s plan moves unknown chunk %s", p.Name(), m.Ref)
 		}
@@ -107,10 +108,10 @@ func (s *fakeState) scaleOut(t testing.TB, p Partitioner, newNodes ...NodeID) []
 		if !s.hasNode(m.To) {
 			t.Fatalf("%s plan targets unknown node %d", p.Name(), m.To)
 		}
-		if m.Size != s.chunks[m.Ref.Key()].Size {
+		if m.Size != s.chunks[m.Ref.Packed()].Size {
 			t.Fatalf("%s plan mis-sizes %s", p.Name(), m.Ref)
 		}
-		s.owner[m.Ref.Key()] = m.To
+		s.owner[key] = m.To
 	}
 	return moves
 }
@@ -139,15 +140,15 @@ func chunkAt(x, y int64, size int64) array.ChunkInfo {
 // equal sizes.
 func uniformChunks(n int, size int64, seed int64) []array.ChunkInfo {
 	rng := rand.New(rand.NewSource(seed))
-	used := make(map[string]bool)
+	used := make(map[array.ChunkKey]bool)
 	var out []array.ChunkInfo
 	for len(out) < n {
 		x, y := rng.Int63n(16), rng.Int63n(16)
 		info := chunkAt(x, y, size)
-		if used[info.Ref.Key()] {
+		if used[info.Ref.Packed()] {
 			continue
 		}
-		used[info.Ref.Key()] = true
+		used[info.Ref.Packed()] = true
 		out = append(out, info)
 	}
 	return out

@@ -128,7 +128,11 @@ func (p *HilbertCurve) AddNodes(newNodes []NodeID, st State) ([]Move, error) {
 		if ranked[i].rank != ranked[j].rank {
 			return ranked[i].rank < ranked[j].rank
 		}
-		return ranked[i].info.Ref.Key() < ranked[j].info.Ref.Key()
+		a, b := ranked[i].info.Ref, ranked[j].info.Ref
+		if a.Array != b.Array {
+			return a.Array < b.Array
+		}
+		return a.Coords.Less(b.Coords)
 	})
 	load := make(map[NodeID]int64)
 	for _, n := range st.Nodes() {
@@ -169,7 +173,7 @@ func (p *HilbertCurve) AddNodes(newNodes []NodeID, st State) ([]Move, error) {
 	var moves []Move
 	for _, r := range ranked {
 		want := p.ownerOfRank(r.rank)
-		cur, _ := st.Owner(r.info.Ref)
+		cur, _ := st.Owner(r.info.Ref.Packed())
 		if cur != want {
 			moves = append(moves, Move{Ref: r.info.Ref, From: cur, To: want, Size: r.info.Size})
 		}

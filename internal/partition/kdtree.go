@@ -268,7 +268,7 @@ func (p *KdTree) AddNodes(newNodes []NodeID, st State) ([]Move, error) {
 	var moves []Move
 	for _, info := range chunks {
 		want := p.locate(p.geom.Clamp(info.Ref.Coords)).node
-		cur, _ := st.Owner(info.Ref)
+		cur, _ := st.Owner(info.Ref.Packed())
 		if cur != want {
 			moves = append(moves, Move{Ref: info.Ref, From: cur, To: want, Size: info.Size})
 		}

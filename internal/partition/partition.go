@@ -19,7 +19,6 @@ package partition
 
 import (
 	"fmt"
-	"hash/fnv"
 	"sort"
 
 	"repro/internal/array"
@@ -49,8 +48,9 @@ type State interface {
 	// NodeChunks returns the chunks resident on the node in canonical
 	// (array, coordinate) order.
 	NodeChunks(NodeID) []array.ChunkInfo
-	// Owner returns the node currently holding the chunk.
-	Owner(array.ChunkRef) (NodeID, bool)
+	// Owner returns the node currently holding the chunk, identified by
+	// its packed key (allocation-free on the lookup hot path).
+	Owner(array.ChunkKey) (NodeID, bool)
 }
 
 // Features is the Table 1 taxonomy: which of the four elastic-placement
@@ -188,20 +188,66 @@ func (g Geometry) Clamp(cc array.ChunkCoord) array.ChunkCoord {
 	return out
 }
 
-// hashRef hashes a chunk's grid position to a well-dispersed 64-bit value.
-// Both hash partitioners derive their bucket/circle position from it.
+// hashRef hashes a chunk's full packed identity — array and grid position —
+// to a well-dispersed 64-bit value. The extendible-hash directory derives
+// bucket membership from it.
 //
-// Only the coordinates are hashed, not the array name: SciDB-style
-// placement assigns chunks by position, so equal positions of congruent
-// arrays (Band1/Band2) land on the same node and the structural join of
-// Section 3.3 needs no shuffling — the behaviour Figure 6 shows for every
-// non-Append scheme.
-func hashRef(ref array.ChunkRef) uint64 {
-	h := fnv.New64a()
-	h.Write([]byte(ref.Coords.Key()))
-	x := h.Sum64()
-	// splitmix64 finalizer: near-identical keys (neighbouring chunk
-	// coordinates) must not land on correlated positions.
+// The array identity is part of the hash: keying on position alone made
+// same-coordinate chunks of every array collide onto one bucket, so a
+// multi-array database degenerated to a single array's distribution.
+// Congruent-array collocation for the structural join (Figure 6) is the
+// position-keyed schemes' behaviour — Consistent Hash and Round Robin keep
+// it via hashCoord.
+func hashRef(key array.ChunkKey) uint64 {
+	h := fnvChunkKey(key)
+	return mix64(h)
+}
+
+// hashCoord hashes a packed grid position alone — the position-keyed hash
+// the Consistent Hash ring uses so congruent arrays collocate equal
+// coordinates.
+func hashCoord(ck array.CoordKey) uint64 {
+	h := uint64(fnvOffset)
+	h = fnvInt(h, uint64(ck.NumDims()))
+	for i := 0; i < ck.NumDims(); i++ {
+		h = fnvInt(h, uint64(ck.At(i)))
+	}
+	return mix64(h)
+}
+
+const (
+	fnvOffset = 0xcbf29ce484222325
+	fnvPrime  = 0x100000001b3
+)
+
+// fnvInt folds one 64-bit value into a running FNV-1a hash, byte by byte in
+// little-endian order — equivalent to hashing the packed wire bytes, with
+// no buffer and no allocation.
+func fnvInt(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime
+		v >>= 8
+	}
+	return h
+}
+
+// fnvChunkKey hashes the packed chunk key bytes: array id, dimension count,
+// then each coordinate.
+func fnvChunkKey(key array.ChunkKey) uint64 {
+	h := uint64(fnvOffset)
+	h = fnvInt(h, uint64(key.Array()))
+	ck := key.Coord()
+	h = fnvInt(h, uint64(ck.NumDims()))
+	for i := 0; i < ck.NumDims(); i++ {
+		h = fnvInt(h, uint64(ck.At(i)))
+	}
+	return h
+}
+
+// mix64 is the splitmix64 finalizer: near-identical keys (neighbouring
+// chunk coordinates) must not land on correlated positions.
+func mix64(x uint64) uint64 {
 	x ^= x >> 30
 	x *= 0xbf58476d1ce4e5b9
 	x ^= x >> 27
@@ -261,10 +307,14 @@ func allChunks(st State) []array.ChunkInfo {
 	return out
 }
 
-// sortMoves orders a migration plan canonically (by chunk key) so plans are
-// reproducible run to run.
+// sortMoves orders a migration plan canonically (array name, then numeric
+// chunk coordinate) so plans are reproducible run to run.
 func sortMoves(moves []Move) {
 	sort.Slice(moves, func(i, j int) bool {
-		return moves[i].Ref.Key() < moves[j].Ref.Key()
+		a, b := moves[i].Ref, moves[j].Ref
+		if a.Array != b.Array {
+			return a.Array < b.Array
+		}
+		return a.Coords.Less(b.Coords)
 	})
 }

@@ -135,7 +135,7 @@ func TestPlacementDeterminism(t *testing.T) {
 	for _, kind := range Kinds() {
 		kind := kind
 		t.Run(kind, func(t *testing.T) {
-			run := func() map[string]NodeID {
+			run := func() map[array.ChunkKey]NodeID {
 				p := build(t, kind, []NodeID{0, 1})
 				st := newFakeState(0, 1)
 				chunks := skewedChunks(3)
@@ -147,7 +147,7 @@ func TestPlacementDeterminism(t *testing.T) {
 					st.ingest(t, p, info)
 				}
 				st.scaleOut(t, p, 4, 5)
-				out := make(map[string]NodeID, len(st.owner))
+				out := make(map[array.ChunkKey]NodeID, len(st.owner))
 				for k, v := range st.owner {
 					out[k] = v
 				}
@@ -255,8 +255,8 @@ func TestMoveSizesMatchCatalog(t *testing.T) {
 		t.Fatal("expected some moves")
 	}
 	for _, m := range moves {
-		if m.Size != st.chunks[m.Ref.Key()].Size {
-			t.Fatalf("move %s size %d != catalog %d", m.Ref, m.Size, st.chunks[m.Ref.Key()].Size)
+		if m.Size != st.chunks[m.Ref.Packed()].Size {
+			t.Fatalf("move %s size %d != catalog %d", m.Ref, m.Size, st.chunks[m.Ref.Packed()].Size)
 		}
 	}
 }
@@ -277,7 +277,7 @@ func TestOwnershipMatchesPlaceAfterScaleOut(t *testing.T) {
 			st.scaleOut(t, p, 2, 3)
 			for _, info := range chunks {
 				want := p.Place(info, st)
-				got, _ := st.Owner(info.Ref)
+				got, _ := st.Owner(info.Ref.Packed())
 				if got != want {
 					t.Fatalf("%s: catalog says %s on %d, table says %d", kind, info.Ref, got, want)
 				}
@@ -287,3 +287,24 @@ func TestOwnershipMatchesPlaceAfterScaleOut(t *testing.T) {
 }
 
 var _ = array.ChunkInfo{} // keep import when build tags shift
+
+// TestHashRefIncludesArray pins the fix for the cross-array collision: the
+// chunk hash covers the array identity, so same-coordinate chunks of
+// different arrays hash apart (the old position-only hash made every
+// array's grid collapse onto one distribution).
+func TestHashRefIncludesArray(t *testing.T) {
+	coords := array.ChunkCoord{5, 2}
+	a := array.ChunkRef{Array: "HashA", Coords: coords}.Packed()
+	b := array.ChunkRef{Array: "HashB", Coords: coords}.Packed()
+	if hashRef(a) == hashRef(b) {
+		t.Error("same-coordinate chunks of different arrays must hash apart")
+	}
+	if hashRef(a) != hashRef(a) {
+		t.Error("hashRef must be deterministic")
+	}
+	// hashCoord stays position-only: the Consistent Hash ring relies on it
+	// to collocate congruent arrays' equal positions.
+	if hashCoord(a.Coord()) != hashCoord(b.Coord()) {
+		t.Error("hashCoord must depend on position only")
+	}
+}

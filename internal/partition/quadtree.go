@@ -201,7 +201,7 @@ func (p *IncrQuadtree) AddNodes(newNodes []NodeID, st State) ([]Move, error) {
 	var moves []Move
 	for _, info := range chunks {
 		want := p.Place(info, st)
-		cur, _ := st.Owner(info.Ref)
+		cur, _ := st.Owner(info.Ref.Packed())
 		if cur != want {
 			moves = append(moves, Move{Ref: info.Ref, From: cur, To: want, Size: info.Size})
 		}

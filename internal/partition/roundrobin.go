@@ -64,7 +64,7 @@ func (p *RoundRobin) AddNodes(newNodes []NodeID, st State) ([]Move, error) {
 	var moves []Move
 	for _, info := range allChunks(st) {
 		want := p.nodes[p.index(info.Ref.Coords)%k]
-		cur, _ := st.Owner(info.Ref)
+		cur, _ := st.Owner(info.Ref.Packed())
 		if cur != want {
 			moves = append(moves, Move{Ref: info.Ref, From: cur, To: want, Size: info.Size})
 		}

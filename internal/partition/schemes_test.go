@@ -226,14 +226,14 @@ func TestHilbertSpatialCoherence(t *testing.T) {
 func meanPairDistances(st *fakeState) (intra, inter float64) {
 	var intraSum, interSum float64
 	var intraN, interN int
-	keys := make([]string, 0, len(st.owner))
+	keys := make([]array.ChunkKey, 0, len(st.owner))
 	for k := range st.owner {
 		keys = append(keys, k)
 	}
 	for i := 0; i < len(keys); i++ {
-		ri, _ := array.ParseChunkRef(keys[i])
+		ri := keys[i].Ref()
 		for j := i + 1; j < len(keys); j++ {
-			rj, _ := array.ParseChunkRef(keys[j])
+			rj := keys[j].Ref()
 			var d float64
 			for k := range ri.Coords {
 				dx := float64(ri.Coords[k] - rj.Coords[k])

@@ -143,7 +143,7 @@ func (p *UniformRange) AddNodes(newNodes []NodeID, st State) ([]Move, error) {
 	for _, info := range allChunks(st) {
 		leaf := p.leafOf(p.geom.Clamp(info.Ref.Coords))
 		want := p.ownerOfLeaf(leaf.leafIndex)
-		cur, _ := st.Owner(info.Ref)
+		cur, _ := st.Owner(info.Ref.Packed())
 		if cur != want {
 			moves = append(moves, Move{Ref: info.Ref, From: cur, To: want, Size: info.Size})
 		}

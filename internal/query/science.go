@@ -45,6 +45,9 @@ func GroupByAggregate(c *cluster.Cluster, spec GroupBySpec) (Result, error) {
 	if len(spec.GroupDims) == 0 || len(spec.GroupDims) != len(spec.GroupScale) {
 		return Result{}, fmt.Errorf("query: group-by needs parallel GroupDims/GroupScale, got %d/%d", len(spec.GroupDims), len(spec.GroupScale))
 	}
+	if len(spec.GroupDims) > array.MaxKeyDims {
+		return Result{}, fmt.Errorf("query: group-by on %d dims, max %d", len(spec.GroupDims), array.MaxKeyDims)
+	}
 	for i, d := range spec.GroupDims {
 		if d < 0 || d >= len(s.Dims) {
 			return Result{}, fmt.Errorf("query: group dim %d out of range for %s", d, spec.Array)
@@ -103,22 +106,20 @@ func GroupByAggregate(c *cluster.Cluster, spec GroupBySpec) (Result, error) {
 		count int64
 	}
 	t := NewTracker(c)
-	global := make(map[string]*acc)
+	global := make(map[array.CoordKey]*acc)
 	var cells int64
 	for _, id := range c.Nodes() {
 		node, _ := c.Node(id)
-		local := make(map[string]*acc)
+		local := make(map[array.CoordKey]*acc)
 		for _, ch := range chunksOfArray(node, spec.Array) {
 			if !intersects(ch.Coords) {
 				continue
 			}
 			t.IO(id, ch.ProjectedSizeBytes(scanAttrs))
 			t.CPU(id, int64(ch.Len()))
-			cell := make(array.Coord, len(s.Dims))
+			cell := make(array.Coord, 0, len(s.Dims))
 			for i := 0; i < ch.Len(); i++ {
-				for d := range ch.DimCols {
-					cell[d] = ch.DimCols[d][i]
-				}
+				cell = ch.CellInto(i, cell)
 				if !inRegions(cell) {
 					continue
 				}
@@ -154,11 +155,11 @@ func GroupByAggregate(c *cluster.Cluster, spec GroupBySpec) (Result, error) {
 	// accumulated in sorted group order for run-to-run determinism.
 	var mean float64
 	if len(global) > 0 {
-		gkeys := make([]string, 0, len(global))
+		gkeys := make([]array.CoordKey, 0, len(global))
 		for k := range global {
 			gkeys = append(gkeys, k)
 		}
-		sort.Strings(gkeys)
+		sort.Slice(gkeys, func(i, j int) bool { return gkeys[i].Less(gkeys[j]) })
 		for _, k := range gkeys {
 			a := global[k]
 			if spec.Attr != "" && a.count > 0 {
@@ -172,17 +173,24 @@ func GroupByAggregate(c *cluster.Cluster, spec GroupBySpec) (Result, error) {
 	return t.Finish(cells, mean), nil
 }
 
-func groupKey(cell array.Coord, dims []int, scale []int64) string {
-	key := make(array.ChunkCoord, len(dims))
+// groupKey buckets a cell into its packed group coordinate. GroupDims never
+// exceeds the schema dimensionality, which NewSchema caps at
+// array.MaxKeyDims, so the packing always fits.
+func groupKey(cell array.Coord, dims []int, scale []int64) array.CoordKey {
+	var buf [array.MaxKeyDims]int64
 	for i, d := range dims {
 		v := cell[d]
 		if v >= 0 {
-			key[i] = v / scale[i]
+			buf[i] = v / scale[i]
 		} else {
-			key[i] = (v - scale[i] + 1) / scale[i] // floor division
+			buf[i] = (v - scale[i] + 1) / scale[i] // floor division
 		}
 	}
-	return key.Key()
+	k, err := array.PackCoords(buf[:len(dims)])
+	if err != nil {
+		panic(err) // dims validated against MaxKeyDims by the caller
+	}
+	return k
 }
 
 // point is a cell projected to the two spatial dimensions plus a value.
@@ -198,11 +206,11 @@ type point struct {
 // xDim/yDim indexes identify the spatial dimensions; valAttr < 0 loads no
 // value column; radius < 0 skips the halo exchange entirely (callers that
 // fetch neighbour chunks on demand, like KNN, charge their own transfers).
-func gatherSlab(c *cluster.Cluster, t *Tracker, s *array.Schema, timeChunk int64, xDim, yDim, valAttr int, radius int64) (map[string][]point, map[string][]point, map[string]partition.NodeID, error) {
-	own := make(map[string][]point)
-	halo := make(map[string][]point)
-	homes := make(map[string]partition.NodeID)
-	scanned := make(map[string]bool)
+func gatherSlab(c *cluster.Cluster, t *Tracker, s *array.Schema, timeChunk int64, xDim, yDim, valAttr int, radius int64) (map[array.CoordKey][]point, map[array.CoordKey][]point, map[array.CoordKey]partition.NodeID, error) {
+	own := make(map[array.CoordKey][]point)
+	halo := make(map[array.CoordKey][]point)
+	homes := make(map[array.CoordKey]partition.NodeID)
+	scanned := make(map[array.CoordKey]bool)
 	var scanAttrs []int
 	if valAttr >= 0 {
 		scanAttrs = append(scanAttrs, valAttr)
@@ -217,9 +225,10 @@ func gatherSlab(c *cluster.Cluster, t *Tracker, s *array.Schema, timeChunk int64
 				continue
 			}
 			slab = append(slab, ch)
-			homes[ch.Coords.Key()] = id
-			if !scanned[ch.Coords.Key()] {
-				scanned[ch.Coords.Key()] = true
+			key := ch.Key().Coord()
+			homes[key] = id
+			if !scanned[key] {
+				scanned[key] = true
 				t.IO(id, ch.ProjectedSizeBytes(scanAttrs))
 			}
 			pts := make([]point, 0, ch.Len())
@@ -234,7 +243,7 @@ func gatherSlab(c *cluster.Cluster, t *Tracker, s *array.Schema, timeChunk int64
 					v: v,
 				})
 			}
-			own[ch.Coords.Key()] = pts
+			own[key] = pts
 		}
 	}
 	if radius < 0 {
@@ -243,11 +252,11 @@ func gatherSlab(c *cluster.Cluster, t *Tracker, s *array.Schema, timeChunk int64
 	// Halo exchange: each chunk pulls boundary cells from its spatial
 	// neighbours in the same slab.
 	for _, ch := range slab {
-		key := ch.Coords.Key()
+		key := ch.Key().Coord()
 		home := homes[key]
 		lo, hi := s.ChunkBounds(ch.Coords)
 		for _, ncc := range spatialNeighbors(s, ch.Coords, xDim, yDim) {
-			nKey := ncc.Key()
+			nKey := ncc.Packed()
 			nPts, ok := own[nKey]
 			if !ok {
 				continue // neighbour chunk empty / absent
@@ -318,11 +327,11 @@ func WindowAggregate(c *cluster.Cluster, arrayName, attr string, timeChunk, radi
 	var grand float64
 	// Iterate chunks in sorted order: float accumulation must not depend
 	// on map iteration order, or results differ run to run.
-	ownKeys := make([]string, 0, len(own))
+	ownKeys := make([]array.CoordKey, 0, len(own))
 	for key := range own {
 		ownKeys = append(ownKeys, key)
 	}
-	sort.Strings(ownKeys)
+	sort.Slice(ownKeys, func(i, j int) bool { return ownKeys[i].Less(ownKeys[j]) })
 	for _, key := range ownKeys {
 		centers := own[key]
 		cand := append(append([]point(nil), centers...), halo[key]...)
@@ -382,11 +391,9 @@ func KMeans(c *cluster.Cluster, arrayName, attr string, region Region, k, iters 
 				continue
 			}
 			t.IO(id, ch.ProjectedSizeBytes(attrIdx))
-			cell := make(array.Coord, len(s.Dims))
+			cell := make(array.Coord, 0, len(s.Dims))
 			for i := 0; i < ch.Len(); i++ {
-				for d := range ch.DimCols {
-					cell[d] = ch.DimCols[d][i]
-				}
+				cell = ch.CellInto(i, cell)
 				if !region.ContainsCell(cell) {
 					continue
 				}
@@ -473,12 +480,12 @@ func KNN(c *cluster.Cluster, arrayName string, timeChunk int64, nQueries, k int)
 	if err != nil {
 		return Result{}, err
 	}
-	keys := make([]string, 0, len(own))
+	keys := make([]array.CoordKey, 0, len(own))
 	var total int64
 	for key := range own {
 		keys = append(keys, key)
 	}
-	sort.Strings(keys)
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Less(keys[j]) })
 	for _, key := range keys {
 		total += int64(len(own[key]))
 	}
@@ -493,7 +500,7 @@ func KNN(c *cluster.Cluster, arrayName string, timeChunk int64, nQueries, k int)
 	// land in port chunks — matching real marine traffic.
 	stride := total / int64(nQueries)
 	var queries []struct {
-		key string
+		key array.CoordKey
 		p   point
 	}
 	var idx int64
@@ -501,7 +508,7 @@ func KNN(c *cluster.Cluster, arrayName string, timeChunk int64, nQueries, k int)
 		for _, p := range own[key] {
 			if idx%stride == 0 && len(queries) < nQueries {
 				queries = append(queries, struct {
-					key string
+					key array.CoordKey
 					p   point
 				}{key, p})
 			}
@@ -511,22 +518,26 @@ func KNN(c *cluster.Cluster, arrayName string, timeChunk int64, nQueries, k int)
 	cellBytes := int64(len(s.Dims)) * 8
 	// shipped tracks which (requester-home, chunk) transfers have been
 	// charged: repeated searches from the same node reuse the copy.
-	shipped := make(map[string]bool)
+	type shipID struct {
+		home  partition.NodeID
+		chunk array.CoordKey
+	}
+	shipped := make(map[shipID]bool)
 	var sumKth float64
 	for _, q := range queries {
 		home := homes[q.key]
-		cc, _ := array.ParseChunkCoord(q.key)
+		cc := q.key.Coords()
 		cand := append([]point(nil), own[q.key]...)
 		for _, ncc := range spatialNeighbors(s, cc, 1, 2) {
-			nKey := ncc.Key()
+			nKey := ncc.Packed()
 			nPts, ok := own[nKey]
 			if !ok {
 				continue
 			}
 			if homes[nKey] != home {
-				shipKey := fmt.Sprintf("%d<-%s", home, nKey)
-				if !shipped[shipKey] {
-					shipped[shipKey] = true
+				ship := shipID{home: home, chunk: nKey}
+				if !shipped[ship] {
+					shipped[ship] = true
 					t.Net(int64(len(nPts)) * cellBytes)
 				}
 			}
@@ -584,8 +595,8 @@ func CollisionProjection(c *cluster.Cluster, arrayName string, timeChunk int64, 
 	}
 	t := NewTracker(c)
 	// Project per chunk where the data lives.
-	proj := make(map[string][]point)
-	homes := make(map[string]partition.NodeID)
+	proj := make(map[array.CoordKey][]point)
+	homes := make(map[array.CoordKey]partition.NodeID)
 	scan := []int{speedIdx[0], headingIdx[0]}
 	for _, id := range c.Nodes() {
 		node, _ := c.Node(id)
@@ -593,7 +604,7 @@ func CollisionProjection(c *cluster.Cluster, arrayName string, timeChunk int64, 
 			if ch.Coords[0] != timeChunk {
 				continue
 			}
-			key := ch.Coords.Key()
+			key := ch.Key().Coord()
 			homes[key] = id
 			t.IO(id, ch.ProjectedSizeBytes(scan))
 			t.CPU(id, int64(ch.Len()))
@@ -616,22 +627,23 @@ func CollisionProjection(c *cluster.Cluster, arrayName string, timeChunk int64, 
 	}
 	cellBytes := int64(16)
 	var collisions int64
-	keys := make([]string, 0, len(proj))
+	keys := make([]array.CoordKey, 0, len(proj))
 	for key := range proj {
 		keys = append(keys, key)
 	}
-	sort.Strings(keys)
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Less(keys[j]) })
 	for _, key := range keys {
 		centers := proj[key]
 		home := homes[key]
-		cc, _ := array.ParseChunkCoord(key)
+		cc := key.Coords()
 		cand := append([]point(nil), centers...)
 		for _, ncc := range spatialNeighbors(s, cc, 1, 2) {
-			nPts, ok := proj[ncc.Key()]
+			nKey := ncc.Packed()
+			nPts, ok := proj[nKey]
 			if !ok {
 				continue
 			}
-			if homes[ncc.Key()] != home {
+			if homes[nKey] != home {
 				t.Net(int64(len(nPts)) * cellBytes)
 			}
 			cand = append(cand, nPts...)

@@ -177,7 +177,7 @@ func JoinBands(c *cluster.Cluster, left, right, attr string, timeChunk int64) (R
 				continue
 			}
 			rref := array.ChunkRef{Array: right, Coords: lch.Coords}
-			rOwner, ok := c.Owner(rref)
+			rOwner, ok := c.Owner(array.MakeChunkKey(rs.ID(), lch.Key().Coord()))
 			if !ok {
 				continue // no matching chunk in the right band
 			}

@@ -117,10 +117,17 @@ func (r *Ring) Remove(node int) error {
 // Owner returns the node that owns the key: the first virtual position at
 // or clockwise after the key's hash. It panics on an empty ring.
 func (r *Ring) Owner(key string) int {
+	return r.OwnerHash(hashKey(key))
+}
+
+// OwnerHash returns the node owning a pre-hashed position on the circle —
+// the allocation-free lookup for callers that hash fixed-size keys
+// themselves. h must be well dispersed (already mixed); it is used as the
+// circle position directly. It panics on an empty ring.
+func (r *Ring) OwnerHash(h uint64) int {
 	if len(r.points) == 0 {
 		panic("ring: Owner on empty ring")
 	}
-	h := hashKey(key)
 	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
 	if i == len(r.points) {
 		i = 0 // wrap around

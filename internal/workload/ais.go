@@ -118,11 +118,11 @@ func NewAIS(cfg AISConfig) (*AIS, error) {
 	latChunks := broadcast.Dims[2].NumChunks()
 	nPorts := int(math.Max(2, math.Round(float64(lonChunks*latChunks)*0.05)))
 	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x0a15))
-	seen := make(map[string]bool)
+	seen := make(map[[2]int64]bool)
 	for len(a.ports) < nPorts {
 		x := rng.Int63n(lonChunks)
 		y := rng.Int63n(latChunks / 2) // ports in the lower latitudes
-		key := fmt.Sprintf("%d/%d", x, y)
+		key := [2]int64{x, y}
 		if seen[key] {
 			continue
 		}
@@ -207,13 +207,13 @@ func (a *AIS) Batch(cycle int) ([]*array.Chunk, error) {
 	lonChunks := a.broadcast.Dims[1].NumChunks()
 	latChunks := a.broadcast.Dims[2].NumChunks()
 
-	chunks := make(map[string]*array.Chunk)
+	chunks := make(map[array.CoordKey]*array.Chunk)
 	chunkFor := func(x, y int64) *array.Chunk {
 		cc := array.ChunkCoord{int64(cycle), x, y}
-		key := cc.Key()
+		key := cc.Packed()
 		ch, ok := chunks[key]
 		if !ok {
-			ch = array.NewChunk(a.broadcast, cc)
+			ch = array.NewChunkCap(a.broadcast, cc, 64)
 			chunks[key] = ch
 		}
 		return ch
@@ -252,11 +252,11 @@ func (a *AIS) Batch(cycle int) ([]*array.Chunk, error) {
 		})
 	}
 	// Deterministic output order.
-	keys := make([]string, 0, len(chunks))
+	keys := make([]array.CoordKey, 0, len(chunks))
 	for k := range chunks {
 		keys = append(keys, k)
 	}
-	sort.Strings(keys)
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Less(keys[j]) })
 	out := make([]*array.Chunk, 0, len(keys))
 	for _, k := range keys {
 		out = append(out, chunks[k])

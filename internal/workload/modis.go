@@ -54,7 +54,7 @@ const minutesPerDay = 1440
 type MODIS struct {
 	cfg    MODISConfig
 	bands  []*array.Schema
-	hotset map[string]bool // "x/y" chunk columns that are denser
+	hotset map[[2]int64]bool // (x,y) chunk columns that are denser
 }
 
 // NewMODIS builds the generator.
@@ -66,7 +66,7 @@ func NewMODIS(cfg MODISConfig) (*MODIS, error) {
 	if cfg.LonStride < 1 || cfg.LatStride < 1 || cfg.BaseCells < 1 {
 		return nil, fmt.Errorf("workload: MODIS strides and cell counts must be positive")
 	}
-	m := &MODIS{cfg: cfg, hotset: make(map[string]bool)}
+	m := &MODIS{cfg: cfg, hotset: make(map[[2]int64]bool)}
 	for _, name := range []string{"Band1", "Band2"} {
 		s, err := array.NewSchema(name,
 			[]array.Attribute{
@@ -97,8 +97,7 @@ func NewMODIS(cfg MODISConfig) (*MODIS, error) {
 	nHot := int(math.Max(1, math.Round(float64(total)*0.05)))
 	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x5eed))
 	for len(m.hotset) < nHot {
-		key := fmt.Sprintf("%d/%d", rng.Int63n(lonChunks), rng.Int63n(latChunks))
-		m.hotset[key] = true
+		m.hotset[[2]int64{rng.Int63n(lonChunks), rng.Int63n(latChunks)}] = true
 	}
 	return m, nil
 }
@@ -157,21 +156,22 @@ func (m *MODIS) genChunk(s *array.Schema, band, cycle int, x, y int64) *array.Ch
 	ch := array.NewChunk(s, cc)
 	rng := rand.New(rand.NewSource(mixSeed(m.cfg.Seed, int64(band), int64(cycle), x, y)))
 	n := m.cfg.BaseCells + rng.Intn(m.cfg.BaseCells/2+1) - m.cfg.BaseCells/4
-	if m.hotset[fmt.Sprintf("%d/%d", x, y)] {
+	if m.hotset[[2]int64{x, y}] {
 		n = int(float64(n) * 2.2)
 	}
 	lo, hi := s.ChunkBounds(cc)
-	seen := make(map[string]bool, n)
+	seen := make(map[array.CoordKey]bool, n)
 	for i := 0; i < n; i++ {
 		cell := array.Coord{
 			lo[0] + rng.Int63n(hi[0]-lo[0]+1),
 			lo[1] + rng.Int63n(hi[1]-lo[1]+1),
 			lo[2] + rng.Int63n(hi[2]-lo[2]+1),
 		}
-		if seen[cell.String()] {
+		if k := cell.Packed(); seen[k] {
 			continue // occupied; sparsity keeps collisions rare
+		} else {
+			seen[k] = true
 		}
-		seen[cell.String()] = true
 		lat := float64(cell[2])
 		// Radiance falls off toward the poles; Band2 reads slightly
 		// higher (vegetation reflects near-infrared), giving the
