@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"runtime"
+	"sync"
 	"testing"
 
 	"repro/internal/array"
@@ -46,19 +47,21 @@ func record(name string, r testing.BenchmarkResult) benchResult {
 	}
 }
 
-// writeBenchJSON measures the chunk-identity hot path on the shared
+// measureBench runs the ingest hot-path micro-benchmarks on the shared
 // MODIS-shaped fixture (internal/benchfixture — the exact workload the
-// go-test benchmarks run) and writes the results. Alongside the packed-key
-// paths it measures the string-keyed probe pattern the pre-ChunkKey code
-// used (build "Array:c0/c1/…" per lookup against a map[string]NodeID), so
-// every emitted file carries its own baseline comparison.
-func writeBenchJSON(path string) error {
+// go-test benchmarks run). Alongside the packed-key paths it measures the
+// string-keyed probe pattern the pre-ChunkKey code used (build
+// "Array:c0/c1/…" per lookup against a map[string]NodeID), so every
+// emitted file carries its own baseline comparison. PR 2 adds the batch
+// ingest pipeline probes: the plan phase alone, end-to-end inserts on 4-
+// and 8-node clusters, and concurrent batches against the sharded catalog.
+func measureBench() (benchReport, error) {
 	c, chunks, err := benchfixture.ClusterAndChunks()
 	if err != nil {
-		return err
+		return benchReport{}, err
 	}
 	if _, err := c.Insert(chunks); err != nil {
-		return err
+		return benchReport{}, err
 	}
 	refs := make([]array.ChunkRef, len(chunks))
 	for i, ch := range chunks {
@@ -72,7 +75,7 @@ func writeBenchJSON(path string) error {
 	}
 
 	report := benchReport{
-		Suite:     "chunk-identity hot path (PR 1: packed ChunkKey)",
+		Suite:     "ingest hot path (PR 2: batch placement, sharded catalog)",
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
@@ -119,6 +122,65 @@ func writeBenchJSON(path string) error {
 			}
 		}
 	})
+	add("insert_chunks_8node", func(b *testing.B) {
+		chs := benchfixture.Chunks(benchfixture.NumChunks, benchfixture.CellsPerChunk)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			fresh, err := benchfixture.Cluster(8)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			if _, err := fresh.Insert(chs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	add("plan_insert", func(b *testing.B) {
+		fresh, chs, err := benchfixture.ClusterAndChunks()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			plan, err := fresh.PlanInsert(chs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			plan.Discard()
+		}
+	})
+	add("insert_parallel_batches_4", func(b *testing.B) {
+		const lanes = 4
+		chs := benchfixture.Chunks(benchfixture.NumChunks, benchfixture.CellsPerChunk)
+		per := len(chs) / lanes
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			fresh, err := benchfixture.Cluster(4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			var wg sync.WaitGroup
+			errs := make([]error, lanes)
+			for l := 0; l < lanes; l++ {
+				wg.Add(1)
+				go func(l int) {
+					defer wg.Done()
+					_, errs[l] = fresh.Insert(chs[l*per : (l+1)*per])
+				}(l)
+			}
+			wg.Wait()
+			for _, err := range errs {
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
 	big := chunks[0]
 	add("cell_iter_into", func(b *testing.B) {
 		b.ReportAllocs()
@@ -144,9 +206,27 @@ func writeBenchJSON(path string) error {
 		_ = sum
 	})
 
+	return report, nil
+}
+
+// writeBenchJSON marshals a measured report to the given path.
+func writeBenchJSON(path string, report benchReport) error {
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// readBenchJSON loads a previously recorded report (a BENCH_PR<N>.json).
+func readBenchJSON(path string) (benchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return benchReport{}, err
+	}
+	var report benchReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		return benchReport{}, err
+	}
+	return report, nil
 }

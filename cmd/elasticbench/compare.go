@@ -1,0 +1,39 @@
+package main
+
+import (
+	"fmt"
+	"io"
+)
+
+// printComparison renders the per-benchmark delta between a baseline
+// report (an earlier BENCH_PR<N>.json) and the freshly measured one.
+// Benchmarks present on only one side are listed, not compared, so suite
+// growth between PRs stays visible.
+func printComparison(w io.Writer, baseline, current benchReport, baselinePath string) {
+	fmt.Fprintf(w, "Comparison vs %s (%s)\n", baselinePath, baseline.Suite)
+	fmt.Fprintf(w, "%-32s %14s %14s %9s %16s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs/op")
+	byName := make(map[string]benchResult, len(baseline.Benchmarks))
+	for _, b := range baseline.Benchmarks {
+		byName[b.Name] = b
+	}
+	matched := make(map[string]bool)
+	for _, cur := range current.Benchmarks {
+		old, ok := byName[cur.Name]
+		if !ok {
+			fmt.Fprintf(w, "%-32s %14s %14.1f %9s %16d  (new)\n", cur.Name, "-", cur.NsPerOp, "-", cur.AllocsPerOp)
+			continue
+		}
+		matched[cur.Name] = true
+		delta := 0.0
+		if old.NsPerOp > 0 {
+			delta = (cur.NsPerOp - old.NsPerOp) / old.NsPerOp * 100
+		}
+		fmt.Fprintf(w, "%-32s %14.1f %14.1f %+8.1f%% %8d → %d\n",
+			cur.Name, old.NsPerOp, cur.NsPerOp, delta, old.AllocsPerOp, cur.AllocsPerOp)
+	}
+	for _, old := range baseline.Benchmarks {
+		if !matched[old.Name] {
+			fmt.Fprintf(w, "%-32s %14.1f %14s %9s %16s  (dropped)\n", old.Name, old.NsPerOp, "-", "-", "-")
+		}
+	}
+}

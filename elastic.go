@@ -11,6 +11,18 @@
 // tracks), and a deterministic simulated-time cost substrate that stands in
 // for the paper's physical 8-node cluster.
 //
+// # Ingest pipeline
+//
+// Ingest is batch-first. Placement schemes implement the Placer contract —
+// PlaceBatch maps a whole batch of chunks to destination nodes in one call
+// — and the cluster splits ingest into an explicit plan → execute pipeline:
+// PlanInsert validates the batch (schemas, duplicates, destinations) and
+// reserves its chunks in a sharded catalog, returning an IngestPlan;
+// ExecutePlan then performs the per-destination-node writes in parallel.
+// Cluster.Insert runs both phases in one call and is safe for concurrent
+// use — parallel batches interleave against the catalog shards without
+// double-placing a chunk.
+//
 // # Quick start
 //
 //	gen, _ := elastic.NewAIS(elastic.AISConfig{Cycles: 6})
@@ -53,6 +65,9 @@ type (
 type (
 	// Cluster is the shared-nothing array database.
 	Cluster = cluster.Cluster
+	// IngestPlan is a validated batch placement, produced by
+	// Cluster.PlanInsert and run by Cluster.ExecutePlan.
+	IngestPlan = cluster.IngestPlan
 	// CostModel holds the simulated-time unit costs (δ, t, CPU).
 	CostModel = cluster.CostModel
 	// Duration is simulated elapsed time in seconds.
@@ -63,6 +78,11 @@ type (
 type (
 	// Partitioner is an elastic data-placement scheme.
 	Partitioner = partition.Partitioner
+	// Placer is the batch placement contract every scheme implements
+	// (PlaceBatch over a whole ingest batch).
+	Placer = partition.Placer
+	// Assignment is one chunk → node decision of a batch placement.
+	Assignment = partition.Assignment
 	// PartitionerOptions tunes a scheme.
 	PartitionerOptions = partition.Options
 	// Geometry describes the chunk grid the spatial schemes divide.

@@ -57,7 +57,18 @@ func main() {
 			}
 			batch = append(batch, ch)
 		}
-		if _, err := c.Insert(batch); err != nil {
+		// Two-phase ingest: plan the batch (validation + placement over
+		// the whole slab at once), inspect it, then execute the parallel
+		// per-node writes. Cluster.Insert does both in one call.
+		plan, err := c.PlanInsert(batch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if slab == 0 {
+			fmt.Printf("slab  1: planned %d chunks onto %d nodes (%d B local, %d B shipped)\n",
+				plan.NumChunks(), plan.NumDestinations(), plan.LocalBytes(), plan.RemoteBytes())
+		}
+		if _, err := c.ExecutePlan(plan); err != nil {
 			log.Fatal(err)
 		}
 		// Grow by hand when the cluster fills up.

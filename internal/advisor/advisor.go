@@ -23,8 +23,10 @@ import (
 
 // Edge is one co-access relationship: queries that touch both chunks ship
 // approximately Weight bytes whenever the two live on different nodes.
+// Endpoints are packed chunk keys (A < B canonically), so walking the graph
+// needs no per-edge conversions; render with ChunkKey.Ref for diagnostics.
 type Edge struct {
-	A, B   array.ChunkRef
+	A, B   array.ChunkKey
 	Weight int64
 }
 
@@ -56,7 +58,7 @@ func BuildGraph(c *cluster.Cluster, arrays []string) (*Graph, error) {
 		size:  make(map[array.ChunkKey]int64),
 		owner: make(map[array.ChunkKey]partition.NodeID),
 	}
-	byCoord := make(map[array.CoordKey][]array.ChunkRef) // grid position -> refs across arrays
+	byCoord := make(map[array.CoordKey][]array.ChunkKey) // grid position -> keys across arrays
 	type chunkPos struct {
 		ref  array.ChunkRef
 		key  array.ChunkKey
@@ -78,7 +80,7 @@ func BuildGraph(c *cluster.Cluster, arrays []string) (*Graph, error) {
 				g.owner[key] = id
 				all = append(all, chunkPos{ref: ch.Ref(), key: key, size: ch.SizeBytes()})
 				coord := key.Coord()
-				byCoord[coord] = append(byCoord[coord], ch.Ref())
+				byCoord[coord] = append(byCoord[coord], key)
 			}
 		}
 	}
@@ -86,28 +88,27 @@ func BuildGraph(c *cluster.Cluster, arrays []string) (*Graph, error) {
 	// Halo edges between spatial neighbours in the same array and slab.
 	const boundaryFraction = 4 // halo ≈ 1/4 of the smaller chunk
 	seen := make(map[[2]array.ChunkKey]bool)
-	addEdge := func(a, b array.ChunkRef, w int64) {
+	addEdge := func(a, b array.ChunkKey, w int64) {
 		if w <= 0 {
 			return
 		}
-		ka, kb := a.Packed(), b.Packed()
-		if kb.Less(ka) {
+		if b.Less(a) {
 			a, b = b, a
-			ka, kb = kb, ka
 		}
-		pair := [2]array.ChunkKey{ka, kb}
+		pair := [2]array.ChunkKey{a, b}
 		if seen[pair] {
 			return
 		}
 		seen[pair] = true
 		g.Edges = append(g.Edges, Edge{A: a, B: b, Weight: w})
-		g.adj[ka] = append(g.adj[ka], len(g.Edges)-1)
-		g.adj[kb] = append(g.adj[kb], len(g.Edges)-1)
+		g.adj[a] = append(g.adj[a], len(g.Edges)-1)
+		g.adj[b] = append(g.adj[b], len(g.Edges)-1)
 	}
 	for _, cp := range all {
 		s, _ := c.Schema(cp.ref.Array)
 		for _, ncc := range spatialNeighbors(s, cp.ref.Coords) {
-			nsize, ok := g.size[array.MakeChunkKey(cp.key.Array(), ncc.Packed())]
+			nkey := array.MakeChunkKey(cp.key.Array(), ncc.Packed())
+			nsize, ok := g.size[nkey]
 			if !ok {
 				continue
 			}
@@ -115,18 +116,18 @@ func BuildGraph(c *cluster.Cluster, arrays []string) (*Graph, error) {
 			if nsize < w {
 				w = nsize
 			}
-			addEdge(cp.ref, array.ChunkRef{Array: cp.ref.Array, Coords: ncc}, w/boundaryFraction)
+			addEdge(cp.key, nkey, w/boundaryFraction)
 		}
 	}
 	// Structural-join edges between equal positions of different arrays.
-	for _, refs := range byCoord {
-		for i := 0; i < len(refs); i++ {
-			for j := i + 1; j < len(refs); j++ {
-				w := g.size[refs[i].Packed()]
-				if b := g.size[refs[j].Packed()]; b < w {
+	for _, keys := range byCoord {
+		for i := 0; i < len(keys); i++ {
+			for j := i + 1; j < len(keys); j++ {
+				w := g.size[keys[i]]
+				if b := g.size[keys[j]]; b < w {
 					w = b
 				}
-				addEdge(refs[i], refs[j], w)
+				addEdge(keys[i], keys[j], w)
 			}
 		}
 	}
@@ -164,11 +165,11 @@ func spatialNeighbors(s *array.Schema, cc array.ChunkCoord) []array.ChunkCoord {
 
 // RemoteBytes sums the weights of edges whose endpoints live on different
 // nodes — the co-access traffic the current placement pays per benchmark
-// round.
+// round. Pure packed-key map probes: no conversions, no allocation.
 func (g *Graph) RemoteBytes() int64 {
 	var total int64
 	for _, e := range g.Edges {
-		if g.owner[e.A.Packed()] != g.owner[e.B.Packed()] {
+		if g.owner[e.A] != g.owner[e.B] {
 			total += e.Weight
 		}
 	}
@@ -221,7 +222,7 @@ func (g *Graph) Plan(c *cluster.Cluster, maxMoves int, slack float64) []partitio
 	// Unit adjacency: summed inter-unit edge weights.
 	uAdj := make(map[array.CoordKey]map[array.CoordKey]int64)
 	for _, e := range g.Edges {
-		ua, ub := unitOf[e.A.Packed()], unitOf[e.B.Packed()]
+		ua, ub := unitOf[e.A], unitOf[e.B]
 		if ua == ub {
 			continue // twin edge, internal to a unit
 		}
@@ -318,9 +319,9 @@ func (g *Graph) Plan(c *cluster.Cluster, maxMoves int, slack float64) []partitio
 		aff := make(map[partition.NodeID]int64)
 		for _, ei := range g.adj[key] {
 			e := g.Edges[ei]
-			other := e.B.Packed()
+			other := e.B
 			if other == key {
-				other = e.A.Packed()
+				other = e.A
 			}
 			aff[label[other]] += e.Weight
 		}

@@ -62,16 +62,19 @@ func TestBuildGraphStructure(t *testing.T) {
 		if e.Weight <= 0 {
 			t.Fatalf("edge %v-%v has non-positive weight", e.A, e.B)
 		}
-		if e.A.Key() == e.B.Key() {
+		if e.A == e.B {
 			t.Fatalf("self edge on %v", e.A)
+		}
+		if e.B.Less(e.A) {
+			t.Fatalf("edge %v-%v not in canonical order", e.A, e.B)
 		}
 	}
 	// Structural-join edges must link the two bands at equal positions.
 	joinEdges := 0
 	for _, e := range g.Edges {
-		if e.A.Array != e.B.Array {
+		if e.A.Array() != e.B.Array() {
 			joinEdges++
-			if e.A.Coords.Key() != e.B.Coords.Key() {
+			if e.A.Coord() != e.B.Coord() {
 				t.Fatalf("cross-array edge at different positions: %v vs %v", e.A, e.B)
 			}
 		}

@@ -55,13 +55,16 @@ func (c *Chunk) Ref() ChunkRef { return ChunkRef{Array: c.Schema.Name, Coords: c
 
 // Key returns the chunk's packed identity without allocating. For
 // hand-assembled chunks (no NewChunk) it packs on demand without caching,
-// so the method stays safe for concurrent use.
+// so the method stays safe for concurrent use. The cached fast path is
+// small enough to inline into ingest loops.
 func (c *Chunk) Key() ChunkKey {
 	if c.key.IsZero() {
-		return c.Ref().Packed()
+		return c.keySlow()
 	}
 	return c.key
 }
+
+func (c *Chunk) keySlow() ChunkKey { return c.Ref().Packed() }
 
 // Len returns the number of occupied cells.
 func (c *Chunk) Len() int {

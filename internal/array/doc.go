@@ -35,4 +35,29 @@
 //
 // Both forms render and parse identically on the wire, so swapping map keys
 // from strings to ChunkKey changes no file name and no serialized byte.
+//
+// # The ingest pipeline next door
+//
+// ChunkInfo (identity + physical size, never payload) is the currency of
+// the batch ingest pipeline built on top of this package. A batch of
+// chunks flows through three stages:
+//
+//  1. Plan — cluster.PlanInsert sorts the batch into canonical key order,
+//     validates it (defined arrays, no duplicates in the batch or the
+//     catalog), and asks the placement scheme for the whole batch at once
+//     via partition.Placer.PlaceBatch([]ChunkInfo, State), which returns
+//     one Assignment per chunk.
+//  2. Reserve — the plan claims its chunks in the cluster's catalog, a
+//     power-of-two-sharded map selected by ChunkKey.Hash, so concurrent
+//     batches can never double-place a chunk.
+//  3. Execute — cluster.ExecutePlan writes each destination node's chunks
+//     from its own goroutine; the simulated charge follows the paper's
+//     Eq 6 (coordinator-local bytes at disk rate, the rest at network
+//     rate).
+//
+// Both key types expose Hash() — an allocation-free FNV-1a over the packed
+// bytes — which is the single hash the catalog shards, the extendible-hash
+// directory and the consistent-hash ring all derive from (the latter two
+// after a splitmix dispersal; CoordKey.Hash is position-only so congruent
+// arrays collocate).
 package array

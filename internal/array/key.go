@@ -153,6 +153,36 @@ func (k CoordKey) Less(o CoordKey) bool {
 
 func (k CoordKey) String() string { return k.Coords().String() }
 
+// FNV-1a parameters for the key hashes below.
+const (
+	fnvOffset64 = 0xcbf29ce484222325
+	fnvPrime64  = 0x100000001b3
+)
+
+// fnvWord folds one 64-bit word into a running FNV-1a-style hash with a
+// single xor-multiply — one multiply per word instead of eight per-byte
+// rounds, which matters on the ingest hot path where every catalog probe
+// hashes a key. Word-wise folding weakens low-bit avalanche relative to
+// byte-wise FNV, so every consumer finishes the hash: the catalog folds
+// the high half down before masking a shard, and the placement schemes run
+// the result through a splitmix finalizer.
+func fnvWord(h, v uint64) uint64 {
+	return (h ^ v) * fnvPrime64
+}
+
+// Hash returns a 64-bit hash of the packed coordinate (dimension count,
+// then each coordinate). Allocation-free; position-only, so equal
+// positions of different arrays hash equal — the collocation property the
+// position-keyed placement schemes rely on.
+func (k CoordKey) Hash() uint64 {
+	h := uint64(fnvOffset64)
+	h = fnvWord(h, uint64(k.n))
+	for i := uint8(0); i < k.n; i++ {
+		h = fnvWord(h, uint64(k.c[i]))
+	}
+	return h
+}
+
 // ChunkKey is the packed global identity of a chunk: the interned array ID
 // plus the packed chunk-grid coordinate. It is fixed-size and comparable,
 // which makes it the map key for every ownership, catalog, and co-access
@@ -194,6 +224,20 @@ func (k ChunkKey) Ref() ChunkRef {
 
 // IsZero reports whether the key is the unset zero value.
 func (k ChunkKey) IsZero() bool { return k.arr == 0 }
+
+// Hash returns a 64-bit hash of the full packed identity: array id,
+// dimension count, then each coordinate. Allocation-free. The cluster's
+// sharded catalog selects shards from it and the extendible-hash directory
+// derives bucket membership from it (after dispersal).
+func (k ChunkKey) Hash() uint64 {
+	h := uint64(fnvOffset64)
+	h = fnvWord(h, uint64(k.arr))
+	h = fnvWord(h, uint64(k.coord.n))
+	for i := uint8(0); i < k.coord.n; i++ {
+		h = fnvWord(h, uint64(k.coord.c[i]))
+	}
+	return h
+}
 
 // Less orders keys canonically: array name (not intern order, so ordering
 // is independent of registration sequence) then coordinate.

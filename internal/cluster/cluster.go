@@ -3,7 +3,8 @@ package cluster
 import (
 	"fmt"
 	"path/filepath"
-	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/array"
 	"repro/internal/partition"
@@ -20,19 +21,66 @@ type PartitionerFactory func(initial []partition.NodeID) (partition.Partitioner,
 //
 // Scale-out is monotonic — the paper's databases never coalesce nodes —
 // and data mutation is insert-only per the no-overwrite storage model.
+//
+// Ingest runs as a plan → execute pipeline (see PlanInsert) and is safe for
+// concurrent use: any number of Insert/PlanInsert/ExecutePlan calls may run
+// in parallel, with the plan phase serialised over the partitioner table
+// and the execution phase writing per-destination-node in parallel against
+// the sharded catalog and the locked node stores. Administration
+// (DefineArray, ReplicateArray, ScaleOut, Migrate, Validate) is exclusive
+// among itself and against ingest: it waits for in-flight ingest calls to
+// drain and blocks new ones while it runs.
+//
+// The concurrency contract covers exactly that: ingest vs. ingest, ingest
+// vs. administration, plus the lock-free readers Owner, NumChunks and
+// Schema. The remaining read accessors (Nodes, Loads, Node, NodeChunks,
+// TotalBytes, …) are snapshots for drivers and tests; callers must not
+// race them against administration calls that mutate topology.
 type Cluster struct {
 	cost    CostModel
-	part    partition.Partitioner
-	nodes   map[partition.NodeID]*Node
-	order   []partition.NodeID // ascending
-	owner   map[array.ChunkKey]partition.NodeID
-	schemas map[string]*array.Schema
-	nextID  partition.NodeID
+	part   partition.Partitioner
+	nodes  map[partition.NodeID]*Node
+	order  []partition.NodeID // ascending
+	owner  *ownerCatalog
+	nextID partition.NodeID
+
+	// schemaMu is a leaf lock making Schema readable concurrently with
+	// DefineArray (queries consult schemas while drivers set up arrays).
+	// Writers additionally hold admin exclusive, so plan-phase reads of
+	// the map under admin shared need no extra lock.
+	schemaMu sync.RWMutex
+	schemas  map[string]*array.Schema
+
+	// admin is the ingest/administration phase lock: Insert, PlanInsert
+	// and ExecutePlan hold it shared (so batches overlap each other);
+	// topology and audit operations hold it exclusively (so they see —
+	// and leave — a quiesced cluster).
+	admin sync.RWMutex
+	// planMu serialises the plan phase proper: the partitioner's table,
+	// the schema registry reads and the scratch buffers below. Catalog
+	// reservations happen under it, so two concurrent plans can never
+	// claim the same chunk.
+	planMu sync.Mutex
+	// keyScratch, idxScratch and infoScratch are plan-phase working
+	// buffers, reused across batches instead of reallocated per Insert
+	// (guarded by planMu).
+	keyScratch  []array.ChunkKey
+	idxScratch  []int32
+	infoScratch []array.ChunkInfo
 
 	nodeCapacity int64
 	storageDir   string
-	// insertedSeq preserves global insert order for audit.
-	inserted int64
+	// inserted preserves the global count of ingested chunks for audit.
+	inserted atomic.Int64
+	// epoch counts topology/table revisions (ScaleOut, Migrate). Ingest
+	// plans are pinned to the epoch they were computed under and go
+	// stale when it moves. Written under admin exclusive, read under
+	// admin shared.
+	epoch uint64
+	// pendingPlans counts planned-but-not-yet-executed batches, whose
+	// chunks are catalogued but not stored; Validate refuses to audit
+	// while any are outstanding.
+	pendingPlans atomic.Int64
 }
 
 // newStore builds the chunk store for a node per the cluster's storage
@@ -87,7 +135,7 @@ func New(cfg Config) (*Cluster, error) {
 	c := &Cluster{
 		cost:         cost,
 		nodes:        make(map[partition.NodeID]*Node),
-		owner:        make(map[array.ChunkKey]partition.NodeID),
+		owner:        newOwnerCatalog(),
 		schemas:      make(map[string]*array.Schema),
 		nodeCapacity: cfg.NodeCapacity,
 		storageDir:   cfg.StorageDir,
@@ -137,11 +185,11 @@ func (c *Cluster) NodeChunks(n partition.NodeID) []array.ChunkInfo {
 	return node.ChunkInfos()
 }
 
-// Owner implements partition.State: a single map probe on the packed key,
-// no allocation. Callers holding a ChunkRef convert with ref.Packed().
+// Owner implements partition.State: a hash to pick the catalog shard and a
+// single map probe on the packed key, no allocation. Callers holding a
+// ChunkRef convert with ref.Packed().
 func (c *Cluster) Owner(key array.ChunkKey) (partition.NodeID, bool) {
-	n, ok := c.owner[key]
-	return n, ok
+	return c.owner.Get(key)
 }
 
 // --- administration ------------------------------------------------------
@@ -171,7 +219,7 @@ func (c *Cluster) TotalBytes() int64 {
 }
 
 // NumChunks returns the number of partitioned chunks in the catalog.
-func (c *Cluster) NumChunks() int { return len(c.owner) }
+func (c *Cluster) NumChunks() int { return c.owner.Len() }
 
 // Node returns a node by ID, for inspection by queries and tests.
 func (c *Cluster) Node(id partition.NodeID) (*Node, bool) {
@@ -186,16 +234,27 @@ func (c *Cluster) Coordinator() partition.NodeID { return c.order[0] }
 // DefineArray registers a schema. Inserting chunks of an undefined array
 // is an error.
 func (c *Cluster) DefineArray(s *array.Schema) error {
+	c.admin.Lock()
+	defer c.admin.Unlock()
+	return c.defineArrayLocked(s)
+}
+
+func (c *Cluster) defineArrayLocked(s *array.Schema) error {
 	if _, dup := c.schemas[s.Name]; dup {
 		return fmt.Errorf("cluster: array %s already defined", s.Name)
 	}
+	c.schemaMu.Lock()
 	c.schemas[s.Name] = s
+	c.schemaMu.Unlock()
 	return nil
 }
 
-// Schema returns a registered schema.
+// Schema returns a registered schema. Safe to call concurrently with
+// ingest and DefineArray.
 func (c *Cluster) Schema(name string) (*array.Schema, bool) {
+	c.schemaMu.RLock()
 	s, ok := c.schemas[name]
+	c.schemaMu.RUnlock()
 	return s, ok
 }
 
@@ -213,55 +272,17 @@ func (c *Cluster) Loads() []float64 {
 func (c *Cluster) RSD() float64 { return stats.RSD(c.Loads()) }
 
 // --- ingest ---------------------------------------------------------------
-
-// Insert routes a batch of new chunks through the coordinator to their
-// partitioner-assigned homes, following the paper's cost shape (Eq 6): the
-// coordinator writes its local share at disk rate δ and ships the rest over
-// the network at rate t. Chunks are processed in canonical order so
-// placement is deterministic. Inserting a chunk that already exists is an
-// error (no-overwrite storage).
-func (c *Cluster) Insert(chunks []*array.Chunk) (Duration, error) {
-	ordered := append([]*array.Chunk(nil), chunks...)
-	sort.Slice(ordered, func(i, j int) bool {
-		return ordered[i].Key().Less(ordered[j].Key())
-	})
-	coord := c.Coordinator()
-	var localBytes, remoteBytes int64
-	for _, ch := range ordered {
-		if _, ok := c.schemas[ch.Schema.Name]; !ok {
-			return 0, fmt.Errorf("cluster: insert into undefined array %s", ch.Schema.Name)
-		}
-		key := ch.Key()
-		if _, dup := c.owner[key]; dup {
-			return 0, fmt.Errorf("cluster: chunk %s already stored (no-overwrite model)", ch.Ref())
-		}
-		info := array.ChunkInfo{Ref: ch.Ref(), Size: ch.SizeBytes()}
-		dest := c.part.Place(info, c)
-		node, ok := c.nodes[dest]
-		if !ok {
-			return 0, fmt.Errorf("cluster: partitioner placed %s on unknown node %d", ch.Ref(), dest)
-		}
-		if err := node.put(ch); err != nil {
-			return 0, err
-		}
-		c.owner[key] = dest
-		c.inserted++
-		if dest == coord {
-			localBytes += ch.SizeBytes()
-		} else {
-			remoteBytes += ch.SizeBytes()
-		}
-	}
-	return c.cost.DiskTime(localBytes) + c.cost.NetTime(remoteBytes), nil
-}
+// (Insert, PlanInsert and ExecutePlan live in ingest.go.)
 
 // ReplicateArray stores the given chunks on every node (the AIS vessel
 // array pattern: small dimension tables replicated for local joins). The
 // charge is one network broadcast of the payload to each non-coordinator
 // node.
 func (c *Cluster) ReplicateArray(s *array.Schema, chunks []*array.Chunk) (Duration, error) {
+	c.admin.Lock()
+	defer c.admin.Unlock()
 	if _, ok := c.schemas[s.Name]; !ok {
-		if err := c.DefineArray(s); err != nil {
+		if err := c.defineArrayLocked(s); err != nil {
 			return 0, err
 		}
 	}
@@ -295,27 +316,40 @@ func (c *Cluster) ScaleOut(k int) (ScaleOutResult, error) {
 	if k < 1 {
 		return ScaleOutResult{}, fmt.Errorf("cluster: ScaleOut(%d): need k >= 1", k)
 	}
+	c.admin.Lock()
+	defer c.admin.Unlock()
 	var added []partition.NodeID
+	rollbackNodes := func() {
+		for _, id := range added {
+			delete(c.nodes, id)
+		}
+		c.nextID -= partition.NodeID(len(added))
+	}
 	for i := 0; i < k; i++ {
 		id := c.nextID
-		c.nextID++
 		store, err := c.newStore(id)
 		if err != nil {
+			// Roll back the nodes added so far; the cluster is
+			// unchanged.
+			rollbackNodes()
 			return ScaleOutResult{}, err
 		}
+		c.nextID++
 		c.nodes[id] = newNode(id, c.nodeCapacity, store)
 		added = append(added, id)
 	}
 	moves, err := c.part.AddNodes(added, c)
 	if err != nil {
 		// Roll back the node additions; the cluster is unchanged.
-		for _, id := range added {
-			delete(c.nodes, id)
-			c.nextID--
-		}
+		rollbackNodes()
 		return ScaleOutResult{}, fmt.Errorf("cluster: partitioner rejected scale-out: %w", err)
 	}
 	c.order = append(c.order, added...)
+	// The topology (and the partitioning table) changed: any outstanding
+	// ingest plan is now stale, so advance the epoch to make ExecutePlan
+	// reject it. Deliberately after the fallible section — a rejected
+	// scale-out leaves plans valid.
+	c.epoch++
 	res := ScaleOutResult{Added: added}
 	recv := make(map[partition.NodeID]int64)
 	for _, m := range moves {
@@ -360,6 +394,14 @@ func (c *Cluster) ScaleOut(k int) (ScaleOutResult, error) {
 // advisor (the paper's §8 future work). Unlike ScaleOut it adds no nodes;
 // the charge is the receiver-parallel transfer of the moved bytes.
 func (c *Cluster) Migrate(moves []partition.Move) (Duration, error) {
+	c.admin.Lock()
+	defer c.admin.Unlock()
+	if len(moves) > 0 {
+		// Placement moves under any outstanding ingest plan: stale it.
+		// (Kept ahead of execution on purpose — a mid-plan failure has
+		// already relocated earlier chunks.)
+		c.epoch++
+	}
 	recv := make(map[partition.NodeID]int64)
 	var total int64
 	for _, m := range moves {
@@ -390,7 +432,7 @@ func (c *Cluster) Migrate(moves []partition.Move) (Duration, error) {
 // the simulation honest about what actually crosses the wire.
 func (c *Cluster) executeMove(m partition.Move) error {
 	key := m.Ref.Packed()
-	cur, ok := c.owner[key]
+	cur, ok := c.owner.Get(key)
 	if !ok {
 		return fmt.Errorf("cluster: plan moves unknown chunk %s", m.Ref)
 	}
@@ -424,7 +466,7 @@ func (c *Cluster) executeMove(m partition.Move) error {
 	if err := dst.put(decoded); err != nil {
 		return err
 	}
-	c.owner[key] = m.To
+	c.owner.Set(key, m.To)
 	return nil
 }
 
@@ -432,12 +474,17 @@ func (c *Cluster) executeMove(m partition.Move) error {
 // exactly, every chunk decodes under its schema, and per-node accounting
 // matches payload sizes. Tests call it after every phase.
 func (c *Cluster) Validate() error {
+	c.admin.Lock()
+	defer c.admin.Unlock()
+	if n := c.pendingPlans.Load(); n != 0 {
+		return fmt.Errorf("cluster: %d ingest plan(s) outstanding (execute or discard them before validating)", n)
+	}
 	seen := 0
 	for _, id := range c.order {
 		node := c.nodes[id]
 		var bytes int64
 		for _, ch := range node.Chunks() {
-			owner, ok := c.owner[ch.Key()]
+			owner, ok := c.owner.Get(ch.Key())
 			if !ok {
 				return fmt.Errorf("cluster: node %d stores uncatalogued chunk %s", id, ch.Ref())
 			}
@@ -454,8 +501,8 @@ func (c *Cluster) Validate() error {
 			return fmt.Errorf("cluster: node %d accounts %d bytes, payloads sum to %d", id, node.Bytes(), bytes)
 		}
 	}
-	if seen != len(c.owner) {
-		return fmt.Errorf("cluster: catalog has %d chunks, stores hold %d", len(c.owner), seen)
+	if n := c.owner.Len(); seen != n {
+		return fmt.Errorf("cluster: catalog has %d chunks, stores hold %d", n, seen)
 	}
 	return nil
 }

@@ -1,0 +1,357 @@
+package cluster
+
+import (
+	"fmt"
+	"runtime"
+	"slices"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/array"
+	"repro/internal/partition"
+)
+
+// IngestPlan is a validated batch placement, ready to execute: every chunk
+// of the batch paired with its partitioner-assigned destination, with the
+// paper's Eq 6 cost split (coordinator-local disk bytes vs. shipped
+// network bytes) precomputed.
+//
+// Plans are produced by PlanInsert, which does all the fallible work —
+// schema checks, duplicate detection within the batch and against the
+// catalog, placement, destination validation — and reserves the chunks'
+// catalog entries so no concurrent batch can claim them. A plan must then
+// be either executed exactly once (ExecutePlan) or discarded (Discard) to
+// release the reservations; Validate refuses to audit while plans are
+// outstanding, since their chunks are catalogued but not yet stored.
+//
+// A plan is pinned to the cluster topology it was computed against: a
+// ScaleOut or Migrate between planning and execution invalidates it
+// (ExecutePlan releases its reservations and reports the staleness; plan
+// the batch again against the new table).
+//
+// Note that a stateful scheme's table advances at planning time — Append's
+// fill accounting counts a planned batch even if the plan is later
+// discarded. Discard is an error-recovery hatch, not a free what-if probe.
+type IngestPlan struct {
+	c        *Cluster
+	chunks   []*array.Chunk     // canonical (array, coordinate) order
+	dests    []partition.NodeID // parallel to chunks
+	sizes    []int64            // parallel to chunks, SizeBytes computed once
+	destList []partition.NodeID // distinct destinations, first-seen order
+	epoch    uint64             // topology epoch the placement was computed under
+
+	localBytes  int64
+	remoteBytes int64
+
+	// state: 0 = planned, 1 = executed, 2 = discarded.
+	state atomic.Int32
+}
+
+// NumChunks returns the number of chunks the plan places.
+func (p *IngestPlan) NumChunks() int { return len(p.chunks) }
+
+// Bytes returns the total payload the plan ingests.
+func (p *IngestPlan) Bytes() int64 { return p.localBytes + p.remoteBytes }
+
+// LocalBytes returns the payload landing on the coordinator (charged at
+// disk rate δ).
+func (p *IngestPlan) LocalBytes() int64 { return p.localBytes }
+
+// RemoteBytes returns the payload shipped to other nodes (charged at
+// network rate t).
+func (p *IngestPlan) RemoteBytes() int64 { return p.remoteBytes }
+
+// NumDestinations returns how many distinct nodes receive chunks — the
+// execution phase's maximum parallelism.
+func (p *IngestPlan) NumDestinations() int { return len(p.destList) }
+
+// Assignments materialises the plan's placement decisions in canonical
+// chunk order, for inspection and tests.
+func (p *IngestPlan) Assignments() []partition.Assignment {
+	out := make([]partition.Assignment, len(p.chunks))
+	for i, ch := range p.chunks {
+		out[i] = partition.Assignment{
+			Info: array.ChunkInfo{Ref: ch.Ref(), Size: p.sizes[i]},
+			Node: p.dests[i],
+		}
+	}
+	return out
+}
+
+// Discard releases an unexecuted plan's catalog reservations. Discarding
+// an executed (or already discarded) plan is a no-op.
+func (p *IngestPlan) Discard() {
+	if p == nil || !p.state.CompareAndSwap(planStatePlanned, planStateDiscarded) {
+		return
+	}
+	for _, ch := range p.chunks {
+		p.c.owner.Delete(ch.Key())
+	}
+	p.c.pendingPlans.Add(-1)
+}
+
+const (
+	planStatePlanned int32 = iota
+	planStateExecuted
+	planStateDiscarded
+)
+
+// Insert routes a batch of new chunks through the coordinator to their
+// partitioner-assigned homes as one plan → execute round, following the
+// paper's cost shape (Eq 6): the coordinator writes its local share at disk
+// rate δ and ships the rest over the network at rate t, with the
+// per-destination writes running in parallel. Chunks are placed in
+// canonical order so placement is deterministic regardless of batch order.
+// Inserting a chunk that already exists — or twice in one batch — is an
+// error (no-overwrite storage), detected in the plan phase before anything
+// is stored: a failed Insert changes nothing.
+//
+// Insert is safe for concurrent use; parallel batches interleave against
+// the sharded catalog without double-placing.
+func (c *Cluster) Insert(chunks []*array.Chunk) (Duration, error) {
+	c.admin.RLock()
+	defer c.admin.RUnlock()
+	plan, err := c.planInsert(chunks)
+	if err != nil {
+		return 0, err
+	}
+	return c.executePlan(plan)
+}
+
+// PlanInsert validates and places a batch without storing anything: the
+// fallible half of ingest. The returned plan has reserved its chunks in
+// the catalog; pass it to ExecutePlan to make the writes (infallible in
+// memory, atomic-per-batch on I/O error) or Discard it to back out.
+func (c *Cluster) PlanInsert(chunks []*array.Chunk) (*IngestPlan, error) {
+	c.admin.RLock()
+	defer c.admin.RUnlock()
+	return c.planInsert(chunks)
+}
+
+// ExecutePlan performs a plan's writes — one goroutine per destination
+// node for batches wide enough to pay for the fan-out — and returns the
+// simulated ingest duration. A plan executes at most once.
+func (c *Cluster) ExecutePlan(plan *IngestPlan) (Duration, error) {
+	c.admin.RLock()
+	defer c.admin.RUnlock()
+	return c.executePlan(plan)
+}
+
+// planInsert is the plan phase. Caller holds admin (shared).
+func (c *Cluster) planInsert(chunks []*array.Chunk) (*IngestPlan, error) {
+	c.planMu.Lock()
+	defer c.planMu.Unlock()
+
+	// Canonical order via an index sort: keys land once in a contiguous
+	// scratch array (cache-friendly comparisons, no chunk-pointer chasing
+	// in the comparator) and the sort swaps 4-byte indexes. Scratch
+	// buffers are grown once to the batch size and reused across batches
+	// (guarded by planMu); the plan keeps its own slices.
+	if cap(c.keyScratch) < len(chunks) {
+		c.keyScratch = make([]array.ChunkKey, 0, len(chunks))
+		c.idxScratch = make([]int32, 0, len(chunks))
+	}
+	if cap(c.infoScratch) < len(chunks) {
+		c.infoScratch = make([]array.ChunkInfo, 0, len(chunks))
+	}
+	keys := c.keyScratch[:0]
+	idx := c.idxScratch[:0]
+	for i, ch := range chunks {
+		keys = append(keys, ch.Key())
+		idx = append(idx, int32(i))
+	}
+	c.keyScratch, c.idxScratch = keys, idx
+	slices.SortFunc(idx, func(a, b int32) int {
+		if keys[a].Less(keys[b]) {
+			return -1
+		}
+		if keys[b].Less(keys[a]) {
+			return 1
+		}
+		return 0
+	})
+
+	plan := &IngestPlan{
+		c:      c,
+		chunks: make([]*array.Chunk, len(chunks)),
+		dests:  make([]partition.NodeID, len(chunks)),
+		sizes:  make([]int64, len(chunks)),
+	}
+	infos := c.infoScratch[:0]
+	var prev array.ChunkKey
+	var checkedSchema *array.Schema
+	for i, j := range idx {
+		ch := chunks[j]
+		plan.chunks[i] = ch
+		// Batches are overwhelmingly single-array: check each distinct
+		// schema once by pointer instead of probing the registry per
+		// chunk.
+		if ch.Schema != checkedSchema {
+			if _, ok := c.schemas[ch.Schema.Name]; !ok {
+				return nil, fmt.Errorf("cluster: insert into undefined array %s", ch.Schema.Name)
+			}
+			checkedSchema = ch.Schema
+		}
+		key := keys[j]
+		if i > 0 && key == prev {
+			return nil, fmt.Errorf("cluster: chunk %s appears twice in one batch", ch.Ref())
+		}
+		prev = key
+		// Duplicate check against the catalog happens here, BEFORE the
+		// partitioner sees the batch: a rejected batch must not advance
+		// a stateful scheme's table (Append's fill accounting). Between
+		// this probe and the reservation below nothing can add catalog
+		// entries — planMu excludes other planners and the admin lock
+		// excludes migration — so the check is exact.
+		if _, dup := c.owner.Get(key); dup {
+			return nil, fmt.Errorf("cluster: chunk %s already stored (no-overwrite model)", ch.Ref())
+		}
+		plan.sizes[i] = ch.SizeBytes()
+		infos = append(infos, array.ChunkInfo{Ref: ch.Ref(), Size: plan.sizes[i]})
+	}
+	c.infoScratch = infos
+
+	asgn, err := c.part.PlaceBatch(infos, c)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: partitioner rejected batch: %w", err)
+	}
+	if len(asgn) != len(infos) {
+		return nil, fmt.Errorf("cluster: partitioner returned %d assignments for %d chunks", len(asgn), len(infos))
+	}
+	coord := c.Coordinator()
+	for i, a := range asgn {
+		dest := a.Node
+		if _, ok := c.nodes[dest]; !ok {
+			return nil, fmt.Errorf("cluster: partitioner placed %s on unknown node %d", plan.chunks[i].Ref(), dest)
+		}
+		plan.dests[i] = dest
+		if !slices.Contains(plan.destList, dest) {
+			plan.destList = append(plan.destList, dest)
+		}
+		if dest == coord {
+			plan.localBytes += plan.sizes[i]
+		} else {
+			plan.remoteBytes += plan.sizes[i]
+		}
+	}
+	// Reserve the batch in the catalog. Everything fallible has passed —
+	// and the duplicate probe above plus the locks held here guarantee
+	// the claims cannot collide — so a reservation failure is an
+	// invariant breach, not a user error.
+	for i, ch := range plan.chunks {
+		if !c.owner.Reserve(ch.Key(), plan.dests[i]) {
+			panic(fmt.Sprintf("cluster: chunk %s reappeared in the catalog during planning", ch.Ref()))
+		}
+	}
+	plan.epoch = c.epoch
+	c.pendingPlans.Add(1)
+	return plan, nil
+}
+
+// parallelIngestThreshold is the batch size below which per-node fan-out
+// goroutines cost more than they save.
+const parallelIngestThreshold = 32
+
+// executePlan is the execution phase. Caller holds admin (shared).
+func (c *Cluster) executePlan(plan *IngestPlan) (Duration, error) {
+	if plan == nil {
+		return 0, fmt.Errorf("cluster: nil ingest plan")
+	}
+	if plan.c != c {
+		return 0, fmt.Errorf("cluster: ingest plan belongs to another cluster")
+	}
+	if plan.epoch != c.epoch {
+		// The topology (and possibly the partitioning table) changed
+		// since planning; the destinations are stale. Release the
+		// reservations so the batch can be planned again.
+		plan.Discard()
+		return 0, fmt.Errorf("cluster: ingest plan is stale (topology changed since planning); plan the batch again")
+	}
+	if !plan.state.CompareAndSwap(planStatePlanned, planStateExecuted) {
+		return 0, fmt.Errorf("cluster: ingest plan already executed or discarded")
+	}
+	if err := c.writePlan(plan); err != nil {
+		c.pendingPlans.Add(-1)
+		return 0, err
+	}
+	c.inserted.Add(int64(len(plan.chunks)))
+	c.pendingPlans.Add(-1)
+	return c.cost.DiskTime(plan.localBytes) + c.cost.NetTime(plan.remoteBytes), nil
+}
+
+// writePlan stores the plan's chunks, fanning out one goroutine per
+// destination node when there is hardware parallelism and the batch is
+// wide enough to pay for it. On any store error it rolls the whole batch
+// back — stores and catalog — so a failed batch leaves the cluster exactly
+// as it was.
+func (c *Cluster) writePlan(plan *IngestPlan) error {
+	if len(plan.destList) <= 1 || len(plan.chunks) < parallelIngestThreshold || runtime.GOMAXPROCS(0) == 1 {
+		for i, ch := range plan.chunks {
+			if err := c.nodes[plan.dests[i]].put(ch); err != nil {
+				c.rollbackWrites(plan, func(j int) bool { return j < i })
+				return err
+			}
+		}
+		return nil
+	}
+	// Each destination's goroutine scans the shared dests slice for its
+	// own indexes: no prebuilt per-node index lists, no cross-goroutine
+	// writes inside the loop (counts are published once, at the end).
+	errs := make([]error, len(plan.destList))
+	counts := make([]int, len(plan.destList))
+	var wg sync.WaitGroup
+	for gi, id := range plan.destList {
+		node := c.nodes[id]
+		wg.Add(1)
+		go func(gi int, id partition.NodeID) {
+			defer wg.Done()
+			done := 0
+			for i, dest := range plan.dests {
+				if dest != id {
+					continue
+				}
+				if err := node.put(plan.chunks[i]); err != nil {
+					errs[gi] = err
+					break
+				}
+				done++
+			}
+			counts[gi] = done
+		}(gi, id)
+	}
+	wg.Wait()
+	for gi := range errs {
+		if errs[gi] == nil {
+			continue
+		}
+		// Roll back every goroutine's written prefix and the batch's
+		// catalog reservations.
+		remaining := make(map[partition.NodeID]int, len(plan.destList))
+		for gj, id := range plan.destList {
+			remaining[id] = counts[gj]
+		}
+		c.rollbackWrites(plan, func(j int) bool {
+			if remaining[plan.dests[j]] > 0 {
+				remaining[plan.dests[j]]--
+				return true
+			}
+			return false
+		})
+		return errs[gi]
+	}
+	return nil
+}
+
+// rollbackWrites takes back every plan chunk for which written reports
+// true (called in index order) and drops the whole batch's catalog
+// reservations.
+func (c *Cluster) rollbackWrites(plan *IngestPlan, written func(i int) bool) {
+	for i := range plan.chunks {
+		if written(i) {
+			_, _ = c.nodes[plan.dests[i]].take(plan.chunks[i].Ref())
+		}
+	}
+	for _, ch := range plan.chunks {
+		c.owner.Delete(ch.Key())
+	}
+}

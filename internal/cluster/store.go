@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/array"
 )
@@ -30,32 +31,41 @@ type ChunkStore interface {
 }
 
 // MemStore is the default in-memory chunk store, keyed by the packed chunk
-// identity so lookups and inserts allocate nothing. The zero value is not
-// usable; construct with NewMemStore.
+// identity so lookups and inserts allocate nothing. A mutex guards the map
+// and the byte accounting: the ingest pipeline writes to a node's store
+// from per-destination goroutines, and concurrent batches may target the
+// same node. The zero value is not usable; construct with NewMemStore.
 type MemStore struct {
+	mu     sync.Mutex
 	chunks map[array.ChunkKey]*array.Chunk
 	bytes  int64
 }
 
-// NewMemStore returns an empty in-memory store.
+// NewMemStore returns an empty in-memory store, presized for a typical
+// ingest burst so the first batches don't rehash the chunk map mid-write.
 func NewMemStore() *MemStore {
-	return &MemStore{chunks: make(map[array.ChunkKey]*array.Chunk)}
+	return &MemStore{chunks: make(map[array.ChunkKey]*array.Chunk, 128)}
 }
 
 // Put implements ChunkStore.
 func (s *MemStore) Put(c *array.Chunk) error {
 	key := c.Key()
+	size := c.SizeBytes()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if _, dup := s.chunks[key]; dup {
 		return fmt.Errorf("cluster: store already holds chunk %s", c.Ref())
 	}
 	s.chunks[key] = c
-	s.bytes += c.SizeBytes()
+	s.bytes += size
 	return nil
 }
 
 // Take implements ChunkStore.
 func (s *MemStore) Take(ref array.ChunkRef) (*array.Chunk, error) {
 	key := ref.Packed()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	c, ok := s.chunks[key]
 	if !ok {
 		return nil, fmt.Errorf("cluster: store does not hold chunk %s", ref)
@@ -67,29 +77,42 @@ func (s *MemStore) Take(ref array.ChunkRef) (*array.Chunk, error) {
 
 // Get implements ChunkStore.
 func (s *MemStore) Get(ref array.ChunkRef) (*array.Chunk, bool) {
-	c, ok := s.chunks[ref.Packed()]
+	key := ref.Packed()
+	s.mu.Lock()
+	c, ok := s.chunks[key]
+	s.mu.Unlock()
 	return c, ok
 }
 
 // Refs implements ChunkStore.
 func (s *MemStore) Refs() []array.ChunkRef {
+	s.mu.Lock()
 	keys := make([]array.ChunkKey, 0, len(s.chunks))
 	for k := range s.chunks {
 		keys = append(keys, k)
 	}
+	s.mu.Unlock()
 	sort.Slice(keys, func(i, j int) bool { return keys[i].Less(keys[j]) })
 	out := make([]array.ChunkRef, 0, len(keys))
 	for _, k := range keys {
-		out = append(out, s.chunks[k].Ref())
+		out = append(out, k.Ref())
 	}
 	return out
 }
 
 // Bytes implements ChunkStore.
-func (s *MemStore) Bytes() int64 { return s.bytes }
+func (s *MemStore) Bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}
 
 // Len implements ChunkStore.
-func (s *MemStore) Len() int { return len(s.chunks) }
+func (s *MemStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.chunks)
+}
 
 // fileEscaper maps chunk-key characters that are unsafe in file names.
 var (

@@ -136,7 +136,10 @@ func (e *Engine) Cycle() int { return e.cycle }
 // RunCycle executes the next workload cycle: generate the insert batch,
 // decide the scale-out (before inserting, as in Section 3.4: the database
 // first determines whether it is under-provisioned for the incoming
-// insert), reorganize, ingest, then run the benchmark suite.
+// insert), reorganize, ingest, then run the benchmark suite. Ingest runs
+// through the two-phase pipeline explicitly — the batch is planned (all
+// validation and placement) after the scale-out has settled the topology,
+// then executed with per-destination parallelism.
 func (e *Engine) RunCycle() (CycleStats, error) {
 	i := e.cycle
 	if i >= e.gen.Cycles() {
@@ -163,7 +166,11 @@ func (e *Engine) RunCycle() (CycleStats, error) {
 		stats.Reorg = res.Reorg
 	}
 	stats.NodesAfter = e.cluster.NumNodes()
-	stats.Insert, err = e.cluster.Insert(batch)
+	plan, err := e.cluster.PlanInsert(batch)
+	if err != nil {
+		return stats, err
+	}
+	stats.Insert, err = e.cluster.ExecutePlan(plan)
 	if err != nil {
 		return stats, err
 	}

@@ -38,24 +38,40 @@ func (p *Append) Features() Features {
 	return Features{IncrementalScaleOut: true, SkewAware: true}
 }
 
-// Place implements Partitioner: route to the current target, advancing it
-// when full. If every node is at capacity the last node absorbs overflow —
-// the situation the provisioner exists to prevent.
-func (p *Append) Place(info array.ChunkInfo, st State) NodeID {
-	for p.target < len(p.nodes)-1 && p.filled[p.target] >= p.capacity {
-		p.target++
+// PlaceBatch implements Placer: route each chunk in order to the current
+// target, advancing the target as it fills — the batch is sequenced because
+// the table itself is insert-order. If every node is at capacity the last
+// node absorbs overflow — the situation the provisioner exists to prevent.
+func (p *Append) PlaceBatch(infos []array.ChunkInfo, st State) ([]Assignment, error) {
+	out := make([]Assignment, len(infos))
+	for i, info := range infos {
+		for p.target < len(p.nodes)-1 && p.filled[p.target] >= p.capacity {
+			p.target++
+		}
+		p.filled[p.target] += info.Size
+		out[i] = Assignment{Info: info, Node: p.nodes[p.target]}
 	}
-	p.filled[p.target] += info.Size
-	return p.nodes[p.target]
+	return out, nil
 }
 
 // AddNodes implements Partitioner. Append never moves preexisting data:
 // the new nodes are queued after the current target and fill up as inserts
 // arrive. The returned plan is always empty.
+//
+// Before appending, the fill table is resynchronised against the observed
+// per-node storage. Fill is advanced at placement time, so batches that
+// were placed but never stored (a failed or discarded ingest plan, a plan
+// invalidated by this very scale-out) leave phantom bytes behind;
+// re-reading the ground truth here stops that drift from permanently
+// skipping nodes with real free capacity.
 func (p *Append) AddNodes(newNodes []NodeID, st State) ([]Move, error) {
 	if err := validateNewNodes(newNodes, st); err != nil {
 		return nil, err
 	}
+	for i, n := range p.nodes {
+		p.filled[i] = st.NodeLoad(n)
+	}
+	p.target = 0
 	p.nodes = append(p.nodes, newNodes...)
 	p.filled = append(p.filled, make([]int64, len(newNodes))...)
 	return nil, nil

@@ -6,8 +6,9 @@ import (
 	"repro/internal/array"
 )
 
-// BenchmarkPlace measures steady-state placement lookup per scheme.
-func BenchmarkPlace(b *testing.B) {
+// BenchmarkPlaceBatch measures steady-state batch placement per scheme:
+// one 200-chunk batch per iteration, the ingest pipeline's unit of work.
+func BenchmarkPlaceBatch(b *testing.B) {
 	for _, kind := range Kinds() {
 		b.Run(kind, func(b *testing.B) {
 			p, err := New(kind, []NodeID{0, 1, 2, 3}, grid16(), Options{NodeCapacity: 1 << 30})
@@ -16,11 +17,12 @@ func BenchmarkPlace(b *testing.B) {
 			}
 			st := newFakeState(0, 1, 2, 3)
 			infos := uniformChunks(200, 1<<12, 1)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				info := infos[i%len(infos)]
-				// Vary the coordinate so hash/tree paths are exercised.
-				_ = p.Place(info, st)
+				if _, err := p.PlaceBatch(infos, st); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}

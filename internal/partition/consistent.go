@@ -41,11 +41,21 @@ func (p *ConsistentHash) Features() Features {
 	return Features{IncrementalScaleOut: true, FineGrained: true}
 }
 
-// Place implements Partitioner: the chunk's owner is the first node
-// clockwise from its hashed grid position (position-keyed, so congruent
-// arrays collocate equal chunk coordinates — see hashCoord).
-func (p *ConsistentHash) Place(info array.ChunkInfo, st State) NodeID {
+// placeOne maps a chunk to the first node clockwise from its hashed grid
+// position (position-keyed, so congruent arrays collocate equal chunk
+// coordinates — see hashCoord).
+func (p *ConsistentHash) placeOne(info array.ChunkInfo) NodeID {
 	return NodeID(p.r.OwnerHash(hashCoord(info.Ref.Coords.Packed())))
+}
+
+// PlaceBatch implements Placer: one ring lookup per chunk; the ring does
+// not change within a batch, so decisions are independent.
+func (p *ConsistentHash) PlaceBatch(infos []array.ChunkInfo, st State) ([]Assignment, error) {
+	out := make([]Assignment, len(infos))
+	for i, info := range infos {
+		out[i] = Assignment{Info: info, Node: p.placeOne(info)}
+	}
+	return out, nil
 }
 
 // AddNodes implements Partitioner. New nodes hash themselves onto the

@@ -62,10 +62,14 @@ func (p *ExtendibleHash) Features() Features {
 	return Features{IncrementalScaleOut: true, FineGrained: true, SkewAware: true}
 }
 
-// Place implements Partitioner: directory lookup on the chunk hash's
-// trailing bits.
-func (p *ExtendibleHash) Place(info array.ChunkInfo, st State) NodeID {
-	return p.owner(hashRef(info.Ref.Packed()))
+// PlaceBatch implements Placer: a directory lookup on each chunk hash's
+// trailing bits. The directory does not change within a batch.
+func (p *ExtendibleHash) PlaceBatch(infos []array.ChunkInfo, st State) ([]Assignment, error) {
+	out := make([]Assignment, len(infos))
+	for i, info := range infos {
+		out[i] = Assignment{Info: info, Node: p.owner(hashRef(info.Ref.Packed()))}
+	}
+	return out, nil
 }
 
 func (p *ExtendibleHash) owner(h uint64) NodeID {

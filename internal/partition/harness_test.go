@@ -58,10 +58,24 @@ func (s *fakeState) Owner(key array.ChunkKey) (NodeID, bool) {
 	return n, ok
 }
 
+// placeOne runs a single chunk through the batch contract, asserting the
+// one-in/one-out shape.
+func placeOne(t testing.TB, p Placer, info array.ChunkInfo, st State) NodeID {
+	t.Helper()
+	asgn, err := p.PlaceBatch([]array.ChunkInfo{info}, st)
+	if err != nil {
+		t.Fatalf("PlaceBatch(%s): %v", info.Ref, err)
+	}
+	if len(asgn) != 1 || asgn[0].Info.Ref.Key() != info.Ref.Key() {
+		t.Fatalf("PlaceBatch(%s) returned %d assignments %v", info.Ref, len(asgn), asgn)
+	}
+	return asgn[0].Node
+}
+
 // ingest places the chunk via the partitioner and records the placement.
 func (s *fakeState) ingest(t testing.TB, p Partitioner, info array.ChunkInfo) NodeID {
 	t.Helper()
-	n := p.Place(info, s)
+	n := placeOne(t, p, info, s)
 	if !s.hasNode(n) {
 		t.Fatalf("%s placed %s on unknown node %d", p.Name(), info.Ref, n)
 	}

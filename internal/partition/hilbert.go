@@ -22,8 +22,9 @@ type HilbertCurve struct {
 	// is space-major: one node owns all of time for its spatial blob,
 	// which keeps balance stable as new slabs arrive and keeps temporal
 	// neighbours collocated for the "cooking" queries.
-	order  *sfc.RectOrder
-	growth []int
+	order   *sfc.RectOrder
+	spatial []int
+	growth  []int
 	// total is the number of distinct composite ranks.
 	total uint64
 	// Node i owns ranks [bounds[i], bounds[i+1]); bounds has one more
@@ -50,7 +51,7 @@ func NewHilbertCurve(initial []NodeID, geom Geometry) (*HilbertCurve, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &HilbertCurve{geom: geom, order: order, growth: geom.growthDims()}
+	p := &HilbertCurve{geom: geom, order: order, spatial: spatial, growth: geom.growthDims()}
 	p.total = order.MaxRank() + 1
 	for _, d := range p.growth {
 		ext := uint64(geom.Extents[d])
@@ -79,12 +80,17 @@ func (p *HilbertCurve) Features() Features {
 
 func (p *HilbertCurve) rank(ref array.ChunkRef) uint64 {
 	cc := p.geom.Clamp(ref.Coords)
-	spatial := p.geom.spatialDims()
-	coords := make([]int64, len(spatial))
-	for i, d := range spatial {
-		coords[i] = cc[d]
+	return p.rankClamped(cc, make([]int64, len(p.spatial)))
+}
+
+// rankClamped computes the composite curve rank of an already-clamped
+// coordinate, using buf (len(spatialDims)) as the Rank scratch so batch
+// callers allocate it once.
+func (p *HilbertCurve) rankClamped(cc array.ChunkCoord, buf []int64) uint64 {
+	for i, d := range p.spatial {
+		buf[i] = cc[d]
 	}
-	r, err := p.order.Rank(coords)
+	r, err := p.order.Rank(buf)
 	if err != nil {
 		// Clamp guarantees in-rectangle coordinates; reaching here is a
 		// programming error.
@@ -104,9 +110,18 @@ func (p *HilbertCurve) ownerOfRank(r uint64) NodeID {
 	return p.segNodes[i]
 }
 
-// Place implements Partitioner: rank lookup into the range table.
-func (p *HilbertCurve) Place(info array.ChunkInfo, st State) NodeID {
-	return p.ownerOfRank(p.rank(info.Ref))
+// PlaceBatch implements Placer: one rank lookup into the range table per
+// chunk, with the clamp and curve scratch buffers hoisted out of the loop
+// so steady-state batches allocate only the assignment slice.
+func (p *HilbertCurve) PlaceBatch(infos []array.ChunkInfo, st State) ([]Assignment, error) {
+	out := make([]Assignment, len(infos))
+	rankBuf := make([]int64, len(p.spatial))
+	var ccBuf array.ChunkCoord
+	for i, info := range infos {
+		ccBuf = p.geom.ClampInto(info.Ref.Coords, ccBuf)
+		out[i] = Assignment{Info: info, Node: p.ownerOfRank(p.rankClamped(ccBuf, rankBuf))}
+	}
+	return out, nil
 }
 
 // AddNodes implements Partitioner. For each new node: identify the most

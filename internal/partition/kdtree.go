@@ -69,10 +69,18 @@ func (p *KdTree) Features() Features {
 	return Features{IncrementalScaleOut: true, SkewAware: !p.midpointSplit, NDimensionalClustering: true}
 }
 
-// Place implements Partitioner: walk the tree comparing the chunk's
-// coordinate with each split plane — logarithmic in the node count.
-func (p *KdTree) Place(info array.ChunkInfo, st State) NodeID {
-	return p.locate(p.geom.Clamp(info.Ref.Coords)).node
+// PlaceBatch implements Placer: walk the tree comparing each chunk's
+// coordinate with the split planes — logarithmic in the node count — with
+// the clamp buffer hoisted out of the loop. The tree does not change
+// within a batch.
+func (p *KdTree) PlaceBatch(infos []array.ChunkInfo, st State) ([]Assignment, error) {
+	out := make([]Assignment, len(infos))
+	var ccBuf array.ChunkCoord
+	for i, info := range infos {
+		ccBuf = p.geom.ClampInto(info.Ref.Coords, ccBuf)
+		out[i] = Assignment{Info: info, Node: p.locate(ccBuf).node}
+	}
+	return out, nil
 }
 
 func (p *KdTree) locate(cc array.ChunkCoord) *kdNode {

@@ -3,13 +3,23 @@
 // Extendible Hash, Hilbert Curve, Incremental Quadtree, K-d Tree, Uniform
 // Range, and the Round Robin baseline.
 //
-// A Partitioner makes two kinds of decisions. During ingest, Place picks the
-// destination node for each new chunk. When the cluster scales out, AddNodes
-// integrates the fresh nodes into the partitioning table and returns an
-// explicit migration plan. Incremental schemes produce plans that move
-// chunks only from preexisting nodes to new ones; the global schemes (Round
-// Robin, Uniform Range) may reshuffle arbitrarily — exactly the trade-off
-// Table 1 of the paper taxonomises.
+// A Partitioner makes two kinds of decisions, both batch-shaped. During
+// ingest, PlaceBatch maps a whole batch of new chunks to destination nodes
+// in one call — the Placer contract — returning one Assignment per chunk in
+// input order. The cluster turns those assignments into an executable
+// IngestPlan (validate → place → write in parallel per destination node);
+// schemes see the batch at once, so they can hoist per-chunk work (rank
+// buffers, directory probes) out of the loop while still deciding exactly
+// as if the chunks had arrived one at a time. When the cluster scales out,
+// AddNodes integrates the fresh nodes into the partitioning table and
+// returns an explicit migration plan. Incremental schemes produce plans
+// that move chunks only from preexisting nodes to new ones; the global
+// schemes (Round Robin, Uniform Range) may reshuffle arbitrarily — exactly
+// the trade-off Table 1 of the paper taxonomises.
+//
+// All eight schemes implement PlaceBatch natively. External schemes still
+// written chunk-at-a-time can adapt with the PlaceEach shim until they grow
+// a native batch path.
 //
 // Partitioners never touch chunk payloads: they see array.ChunkInfo
 // (identity, grid position, physical size) and a read-only State view of
@@ -82,6 +92,41 @@ func (f Features) Count() int {
 	return n
 }
 
+// Assignment is one decision of a batch placement: a chunk and the node it
+// goes to.
+type Assignment struct {
+	Info array.ChunkInfo
+	Node NodeID
+}
+
+// Placer is the batch placement contract. PlaceBatch maps every chunk of an
+// ingest batch to a destination node and updates the scheme's internal
+// table, returning one Assignment per input in the same order
+// (out[i].Info == infos[i]). The chunks are new — none is visible in st —
+// and they are processed in slice order, so a batch call decides exactly
+// like a sequence of single-chunk calls; callers pass batches in canonical
+// chunk order to keep placement deterministic. Implementations must not
+// retain infos (the cluster reuses the backing array across calls). The
+// error return is for schemes that can reject a batch outright; the eight
+// in-repo schemes always place and return nil.
+type Placer interface {
+	PlaceBatch(infos []array.ChunkInfo, st State) ([]Assignment, error)
+}
+
+// PlaceFunc is the per-chunk placement signature of the pre-batch API.
+type PlaceFunc func(info array.ChunkInfo, st State) NodeID
+
+// PlaceEach adapts a per-chunk placement function to the batch contract —
+// the migration shim for external schemes still written chunk-at-a-time.
+// Every in-repo scheme implements PlaceBatch natively and does not use it.
+func PlaceEach(infos []array.ChunkInfo, st State, place PlaceFunc) []Assignment {
+	out := make([]Assignment, len(infos))
+	for i, info := range infos {
+		out[i] = Assignment{Info: info, Node: place(info, st)}
+	}
+	return out
+}
+
 // Partitioner is an elastic data-placement scheme.
 type Partitioner interface {
 	// Name returns the scheme's display name as used in the paper's
@@ -89,10 +134,8 @@ type Partitioner interface {
 	Name() string
 	// Features returns the scheme's Table 1 row.
 	Features() Features
-	// Place picks the destination node for a chunk being ingested and
-	// updates the scheme's internal table. The chunk is new: it is not
-	// yet visible in st.
-	Place(info array.ChunkInfo, st State) NodeID
+	// Placer supplies batch ingest placement (PlaceBatch).
+	Placer
 	// AddNodes integrates newly provisioned nodes into the partitioning
 	// table and returns the migration plan that brings physical
 	// placement in line with the revised table. newNodes are not yet
@@ -173,7 +216,14 @@ func (g Geometry) growthDims() []int {
 // Clamp forces a chunk coordinate into the grid, mapping overflow on any
 // axis to the last slab (and negative indexes to the first).
 func (g Geometry) Clamp(cc array.ChunkCoord) array.ChunkCoord {
-	out := cc.Clone()
+	return g.ClampInto(cc, nil)
+}
+
+// ClampInto is Clamp writing into buf (reusing its capacity) — the
+// allocation-free variant for batch placement loops. Pass the previous
+// iteration's return value as buf.
+func (g Geometry) ClampInto(cc array.ChunkCoord, buf array.ChunkCoord) array.ChunkCoord {
+	out := append(buf[:0], cc...)
 	for i := range out {
 		if i >= len(g.Extents) {
 			break
@@ -190,7 +240,10 @@ func (g Geometry) Clamp(cc array.ChunkCoord) array.ChunkCoord {
 
 // hashRef hashes a chunk's full packed identity — array and grid position —
 // to a well-dispersed 64-bit value. The extendible-hash directory derives
-// bucket membership from it.
+// bucket membership from it. The raw FNV pass lives on the key types
+// (array.ChunkKey.Hash — the same hash the cluster's sharded catalog
+// spreads shards with); the splitmix finalizer here disperses it for
+// bucket-pattern use.
 //
 // The array identity is part of the hash: keying on position alone made
 // same-coordinate chunks of every array collide onto one bucket, so a
@@ -199,50 +252,14 @@ func (g Geometry) Clamp(cc array.ChunkCoord) array.ChunkCoord {
 // position-keyed schemes' behaviour — Consistent Hash and Round Robin keep
 // it via hashCoord.
 func hashRef(key array.ChunkKey) uint64 {
-	h := fnvChunkKey(key)
-	return mix64(h)
+	return mix64(key.Hash())
 }
 
 // hashCoord hashes a packed grid position alone — the position-keyed hash
 // the Consistent Hash ring uses so congruent arrays collocate equal
 // coordinates.
 func hashCoord(ck array.CoordKey) uint64 {
-	h := uint64(fnvOffset)
-	h = fnvInt(h, uint64(ck.NumDims()))
-	for i := 0; i < ck.NumDims(); i++ {
-		h = fnvInt(h, uint64(ck.At(i)))
-	}
-	return mix64(h)
-}
-
-const (
-	fnvOffset = 0xcbf29ce484222325
-	fnvPrime  = 0x100000001b3
-)
-
-// fnvInt folds one 64-bit value into a running FNV-1a hash, byte by byte in
-// little-endian order — equivalent to hashing the packed wire bytes, with
-// no buffer and no allocation.
-func fnvInt(h, v uint64) uint64 {
-	for i := 0; i < 8; i++ {
-		h ^= v & 0xff
-		h *= fnvPrime
-		v >>= 8
-	}
-	return h
-}
-
-// fnvChunkKey hashes the packed chunk key bytes: array id, dimension count,
-// then each coordinate.
-func fnvChunkKey(key array.ChunkKey) uint64 {
-	h := uint64(fnvOffset)
-	h = fnvInt(h, uint64(key.Array()))
-	ck := key.Coord()
-	h = fnvInt(h, uint64(ck.NumDims()))
-	for i := 0; i < ck.NumDims(); i++ {
-		h = fnvInt(h, uint64(ck.At(i)))
-	}
-	return h
+	return mix64(ck.Hash())
 }
 
 // mix64 is the splitmix64 finalizer: near-identical keys (neighbouring

@@ -276,7 +276,7 @@ func TestOwnershipMatchesPlaceAfterScaleOut(t *testing.T) {
 			}
 			st.scaleOut(t, p, 2, 3)
 			for _, info := range chunks {
-				want := p.Place(info, st)
+				want := placeOne(t, p, info, st)
 				got, _ := st.Owner(info.Ref.Packed())
 				if got != want {
 					t.Fatalf("%s: catalog says %s on %d, table says %d", kind, info.Ref, got, want)

@@ -115,16 +115,29 @@ func (p *IncrQuadtree) Features() Features {
 	return Features{IncrementalScaleOut: true, SkewAware: true, NDimensionalClustering: true}
 }
 
-// Place implements Partitioner: linear walk of the region list (the list is
-// small — one to a few boxes per node).
-func (p *IncrQuadtree) Place(info array.ChunkInfo, st State) NodeID {
-	cc := p.geom.Clamp(info.Ref.Coords)
+// ownerOf locates the region containing an already-clamped coordinate by a
+// linear walk of the region list (the list is small — one to a few boxes
+// per node).
+func (p *IncrQuadtree) ownerOf(cc array.ChunkCoord) NodeID {
 	for _, r := range p.regions {
 		if r.box.Contains(cc) {
 			return r.node
 		}
 	}
 	panic(fmt.Sprintf("partition: quadtree regions do not cover chunk %v", cc))
+}
+
+// PlaceBatch implements Placer: one region walk per chunk with the clamp
+// buffer hoisted out of the loop; the region list does not change within a
+// batch.
+func (p *IncrQuadtree) PlaceBatch(infos []array.ChunkInfo, st State) ([]Assignment, error) {
+	out := make([]Assignment, len(infos))
+	var ccBuf array.ChunkCoord
+	for i, info := range infos {
+		ccBuf = p.geom.ClampInto(info.Ref.Coords, ccBuf)
+		out[i] = Assignment{Info: info, Node: p.ownerOf(ccBuf)}
+	}
+	return out, nil
 }
 
 // AddNodes implements Partitioner, applying the paper's split rule per new
@@ -200,7 +213,7 @@ func (p *IncrQuadtree) AddNodes(newNodes []NodeID, st State) ([]Move, error) {
 	p.sortRegions()
 	var moves []Move
 	for _, info := range chunks {
-		want := p.Place(info, st)
+		want := p.ownerOf(p.geom.Clamp(info.Ref.Coords))
 		cur, _ := st.Owner(info.Ref.Packed())
 		if cur != want {
 			moves = append(moves, Move{Ref: info.Ref, From: cur, To: want, Size: info.Size})

@@ -40,6 +40,11 @@ func (p *RoundRobin) Features() Features {
 // index linearizes the (clamped) chunk coordinate row-major.
 func (p *RoundRobin) index(cc array.ChunkCoord) int64 {
 	cc = p.geom.Clamp(cc)
+	return p.indexClamped(cc)
+}
+
+// indexClamped linearizes an already-clamped coordinate row-major.
+func (p *RoundRobin) indexClamped(cc array.ChunkCoord) int64 {
 	var idx int64
 	for d, e := range p.geom.Extents {
 		idx = idx*e + cc[d]
@@ -47,9 +52,16 @@ func (p *RoundRobin) index(cc array.ChunkCoord) int64 {
 	return idx
 }
 
-// Place implements Partitioner: circular assignment by grid position.
-func (p *RoundRobin) Place(info array.ChunkInfo, st State) NodeID {
-	return p.nodes[p.index(info.Ref.Coords)%int64(len(p.nodes))]
+// PlaceBatch implements Placer: circular assignment by grid position,
+// independently per chunk, with the clamp buffer hoisted out of the loop.
+func (p *RoundRobin) PlaceBatch(infos []array.ChunkInfo, st State) ([]Assignment, error) {
+	out := make([]Assignment, len(infos))
+	var ccBuf array.ChunkCoord
+	for i, info := range infos {
+		ccBuf = p.geom.ClampInto(info.Ref.Coords, ccBuf)
+		out[i] = Assignment{Info: info, Node: p.nodes[p.indexClamped(ccBuf)%int64(len(p.nodes))]}
+	}
+	return out, nil
 }
 
 // AddNodes implements Partitioner. The modulus changes, so nearly every

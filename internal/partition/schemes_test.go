@@ -56,6 +56,26 @@ func TestAppendUsesNewNodesAfterScaleOut(t *testing.T) {
 	}
 }
 
+// TestAppendFillResyncsAtScaleOut: placement decisions whose chunks never
+// landed (a discarded or invalidated ingest plan) advance the fill table;
+// AddNodes must resynchronise against observed storage so the phantom
+// bytes do not permanently skip a node with real free capacity.
+func TestAppendFillResyncsAtScaleOut(t *testing.T) {
+	p := NewAppend([]NodeID{0}, 100)
+	st := newFakeState(0)
+	st.ingest(t, p, chunkAt(0, 0, 60)) // stored: node 0 at 60/100
+	// A planned-but-discarded batch: placed, never recorded in st.
+	if _, err := p.PlaceBatch([]array.ChunkInfo{chunkAt(1, 0, 80)}, st); err != nil {
+		t.Fatal(err)
+	}
+	st.scaleOut(t, p, 1)
+	// Without the resync the phantom 80 bytes put node 0 at 140 ≥ 100 and
+	// this chunk would spill to node 1 despite 40 free bytes on node 0.
+	if n := st.ingest(t, p, chunkAt(2, 0, 30)); n != 0 {
+		t.Fatalf("post-resync chunk placed on %d, want node 0 (60+30 < 100)", n)
+	}
+}
+
 func TestRoundRobinEqualCounts(t *testing.T) {
 	p, err := NewRoundRobin([]NodeID{0, 1, 2, 4}, grid16())
 	if err != nil {

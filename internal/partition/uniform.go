@@ -125,10 +125,17 @@ func (p *UniformRange) ownerOfLeaf(leafIndex int) NodeID {
 	return p.nodes[leafIndex*n/l]
 }
 
-// Place implements Partitioner.
-func (p *UniformRange) Place(info array.ChunkInfo, st State) NodeID {
-	leaf := p.leafOf(p.geom.Clamp(info.Ref.Coords))
-	return p.ownerOfLeaf(leaf.leafIndex)
+// PlaceBatch implements Placer: one tree descent per chunk with the clamp
+// buffer hoisted out of the loop; the leaf blocks do not change within a
+// batch.
+func (p *UniformRange) PlaceBatch(infos []array.ChunkInfo, st State) ([]Assignment, error) {
+	out := make([]Assignment, len(infos))
+	var ccBuf array.ChunkCoord
+	for i, info := range infos {
+		ccBuf = p.geom.ClampInto(info.Ref.Coords, ccBuf)
+		out[i] = Assignment{Info: info, Node: p.ownerOfLeaf(p.leafOf(ccBuf).leafIndex)}
+	}
+	return out, nil
 }
 
 // AddNodes implements Partitioner: append the nodes, recompute every
