@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"runtime"
 	"sync"
@@ -9,7 +10,11 @@ import (
 
 	"repro/internal/array"
 	"repro/internal/benchfixture"
+	"repro/internal/cluster"
+	"repro/internal/core"
 	"repro/internal/partition"
+	"repro/internal/query"
+	"repro/internal/workload"
 )
 
 // benchResult is one micro-benchmark measurement in the emitted JSON.
@@ -55,6 +60,8 @@ func record(name string, r testing.BenchmarkResult) benchResult {
 // emitted file carries its own baseline comparison. PR 2 adds the batch
 // ingest pipeline probes: the plan phase alone, end-to-end inserts on 4-
 // and 8-node clusters, and concurrent batches against the sharded catalog.
+// PR 3 adds the query-layer probes: both benchmark suites end to end with
+// the scan executor pinned at 1, 4 and 8 workers (suite_parallel_{1,4,8}).
 func measureBench() (benchReport, error) {
 	c, chunks, err := benchfixture.ClusterAndChunks()
 	if err != nil {
@@ -75,7 +82,7 @@ func measureBench() (benchReport, error) {
 	}
 
 	report := benchReport{
-		Suite:     "ingest hot path (PR 2: batch placement, sharded catalog)",
+		Suite:     "ingest + query hot path (PR 3: parallel scan executor)",
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
@@ -205,8 +212,93 @@ func measureBench() (benchReport, error) {
 		}
 		_ = sum
 	})
+	if err := addSuiteProbes(&report, add); err != nil {
+		return benchReport{}, err
+	}
 
 	return report, nil
+}
+
+// suiteCluster ingests a small workload through the core engine (k-d tree,
+// growing 2→8 nodes on the fixed schedule) and returns the cluster plus the
+// last completed cycle — the fixture the suite_parallel probes query.
+func suiteCluster(gen workload.Generator) (*cluster.Cluster, int, error) {
+	_, total, err := workload.TotalBytes(gen)
+	if err != nil {
+		return nil, 0, err
+	}
+	eng, err := core.NewEngine(gen, core.Config{
+		PartitionerKind: "kdtree",
+		InitialNodes:    2,
+		NodeCapacity:    total/6 + 1,
+		FixedStep:       2,
+		MaxNodes:        8,
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	if _, err := eng.Run(); err != nil {
+		return nil, 0, err
+	}
+	return eng.Cluster(), eng.Cycle() - 1, nil
+}
+
+// addSuiteProbes appends the query-layer probes: both benchmark suites
+// end to end at scan-executor parallelism 1, 4 and 8. Parallelism 1 is the
+// serial path; the wall-clock delta at 4 and 8 is the multicore win (on a
+// single-hardware-thread host the levels tie, modulo scheduling overhead —
+// the per-node charges and Results are identical at every level by the
+// executor's determinism guarantee, so the probes also double as a
+// cross-level consistency check).
+func addSuiteProbes(report *benchReport, add func(string, func(b *testing.B))) error {
+	mgen, err := workload.NewMODIS(workload.MODISConfig{Cycles: 3, BaseCells: 16})
+	if err != nil {
+		return err
+	}
+	mc, mlast, err := suiteCluster(mgen)
+	if err != nil {
+		return err
+	}
+	agen, err := workload.NewAIS(workload.AISConfig{Cycles: 3, CellsPerCycle: 2500})
+	if err != nil {
+		return err
+	}
+	ac, alast, err := suiteCluster(agen)
+	if err != nil {
+		return err
+	}
+	var want, got query.Result
+	for _, par := range []int{1, 4, 8} {
+		// Suite failures are captured outside the closure: b.Fatal inside
+		// testing.Benchmark would silently yield a zero result instead of
+		// surfacing the error.
+		var runErr error
+		add(fmt.Sprintf("suite_parallel_%d", par), func(b *testing.B) {
+			mc.SetParallelism(par)
+			ac.SetParallelism(par)
+			for i := 0; i < b.N; i++ {
+				m, err := query.MODISSuite(mc, mlast)
+				if err != nil {
+					runErr = err
+					return
+				}
+				if _, err := query.AISSuite(ac, alast); err != nil {
+					runErr = err
+					return
+				}
+				got = m.PerQuery["projection"]
+			}
+		})
+		if runErr != nil {
+			return fmt.Errorf("suite_parallel_%d: %w", par, runErr)
+		}
+		if par == 1 {
+			want = got
+		} else if got != want {
+			return fmt.Errorf("suite results diverge at parallelism %d: %+v vs serial %+v", par, got, want)
+		}
+	}
+	return nil
 }
 
 // writeBenchJSON marshals a measured report to the given path.

@@ -23,6 +23,15 @@
 // use — parallel batches interleave against the catalog shards without
 // double-placing a chunk.
 //
+// # Parallel queries
+//
+// The benchmark operators run their chunk scans on a worker-pool
+// executor. Config.Parallelism caps the pool (0 = GOMAXPROCS); results
+// are byte-identical at every level — the executor folds per-item
+// partials in canonical order and merges integer cost charges at the
+// pool barrier — so parallelism is purely a wall-clock knob, never a
+// result perturbation. See ARCHITECTURE.md.
+//
 // # Quick start
 //
 //	gen, _ := elastic.NewAIS(elastic.AISConfig{Cycles: 6})

@@ -70,6 +70,10 @@ type Cluster struct {
 
 	nodeCapacity int64
 	storageDir   string
+	// parallelism caps the query layer's scan-executor worker pool.
+	// Atomic so benchmark sweeps can retune it between runs without
+	// racing a straggling query's read.
+	parallelism atomic.Int32
 	// inserted preserves the global count of ingested chunks for audit.
 	inserted atomic.Int64
 	// epoch counts topology/table revisions (ScaleOut, Migrate). Ingest
@@ -112,6 +116,12 @@ type Config struct {
 	// DiskStore under StorageDir/node-<id>, so chunk payloads survive
 	// the process (re-index with OpenDiskStore).
 	StorageDir string
+	// Parallelism caps the worker pool of the query layer's scan
+	// executor (query.Exec). 0, the default, gates the pool at
+	// GOMAXPROCS; an explicit value is honoured as given, so benchmark
+	// sweeps can pin 1/2/4/8 workers regardless of the host's core
+	// count. Retune a live cluster with SetParallelism.
+	Parallelism int
 }
 
 // New assembles and validates a cluster.
@@ -140,6 +150,7 @@ func New(cfg Config) (*Cluster, error) {
 		nodeCapacity: cfg.NodeCapacity,
 		storageDir:   cfg.StorageDir,
 	}
+	c.parallelism.Store(int32(cfg.Parallelism))
 	var initial []partition.NodeID
 	for i := 0; i < cfg.InitialNodes; i++ {
 		id := c.nextID
@@ -202,6 +213,15 @@ func (c *Cluster) Cost() CostModel { return c.cost }
 
 // NumNodes returns the current node count.
 func (c *Cluster) NumNodes() int { return len(c.order) }
+
+// Parallelism returns the scan-executor worker cap queries run with
+// (0 = GOMAXPROCS-gated).
+func (c *Cluster) Parallelism() int { return int(c.parallelism.Load()) }
+
+// SetParallelism retunes the scan-executor worker cap. Queries read the
+// knob once at startup, so the new value applies to queries issued after
+// the call.
+func (c *Cluster) SetParallelism(n int) { c.parallelism.Store(int32(n)) }
 
 // NodeCapacity returns the per-node capacity in bytes.
 func (c *Cluster) NodeCapacity() int64 { return c.nodeCapacity }

@@ -1,0 +1,46 @@
+// Package cluster is the shared-nothing substrate the elasticity layers
+// run on: a coordinator plus a monotonically growing set of nodes, each a
+// capacity-accounted chunk store (in-memory, or write-through to disk),
+// glued together by a partitioner and the authoritative chunk→node
+// catalog. Simulated time — the currency of every experiment — comes from
+// its CostModel: disk rate δ, network rate t, and the fixed per-operation
+// overheads of the paper's Equations 6 and 7.
+//
+// # Ingest: plan → execute
+//
+// Ingest is an explicit two-phase pipeline. PlanInsert does all the
+// fallible work — canonical-order sort, schema checks, duplicate detection
+// within the batch and against the catalog, batch placement through
+// partition.Placer.PlaceBatch, destination validation — and reserves the
+// batch's chunks in the catalog, returning an IngestPlan. ExecutePlan then
+// performs the writes, fanning out one goroutine per destination node, and
+// charges the paper's Eq 6 split (coordinator-local bytes at disk rate,
+// shipped bytes at network rate). A plan must be executed exactly once or
+// released with Discard; Insert runs both phases in one call. Any number
+// of ingest calls may run concurrently — the plan phase is serialised over
+// the partitioner's table, execution interleaves against the sharded
+// catalog and the locked stores.
+//
+// Plans are epoch-stamped: ScaleOut and Migrate advance the cluster's
+// topology epoch, so a plan computed before the change is stale and
+// ExecutePlan rejects it (releasing its reservations) rather than writing
+// to destinations the revised table no longer sanctions.
+//
+// # The sharded catalog
+//
+// The catalog maps packed array.ChunkKey identities to owning nodes. It is
+// striped over a power-of-two number of lock-guarded shards selected by
+// ChunkKey.Hash, so concurrent batches reserve and publish ownership
+// without contending on one lock while a single lookup stays hash → probe
+// with no allocation. Reserve is the one-shot claim primitive: duplicate
+// check and insertion under a single shard lock.
+//
+// # Queries
+//
+// The query layer (package query) reads nodes' chunks directly and runs
+// its scans on a worker pool sized by Config.Parallelism (0 =
+// GOMAXPROCS-gated; retune live with SetParallelism). Node stores are
+// locked, so scans are safe against concurrent ingest of other arrays;
+// the simulated cost of a query comes from the query package's Tracker,
+// not from wall-clock time.
+package cluster

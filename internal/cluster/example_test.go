@@ -1,0 +1,78 @@
+package cluster_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/array"
+	"repro/internal/cluster"
+	"repro/internal/partition"
+)
+
+// ExampleCluster_PlanInsert walks the two-phase ingest lifecycle: plan a
+// batch (validate, place, reserve), execute it (parallel per-destination
+// writes), and discard a plan that is not going to run so its catalog
+// reservations are released.
+func ExampleCluster_PlanInsert() {
+	schema := array.MustSchema("Grid",
+		[]array.Attribute{{Name: "v", Type: array.Float64}},
+		[]array.Dimension{
+			{Name: "x", Start: 0, End: 15, ChunkInterval: 4},
+			{Name: "y", Start: 0, End: 15, ChunkInterval: 4},
+		})
+	c, err := cluster.New(cluster.Config{
+		InitialNodes: 2,
+		NodeCapacity: 1 << 20,
+		Partitioner: func(initial []partition.NodeID) (partition.Partitioner, error) {
+			return partition.New(partition.KindRoundRobin, initial,
+				partition.Geometry{Extents: []int64{4, 4}}, partition.Options{})
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := c.DefineArray(schema); err != nil {
+		log.Fatal(err)
+	}
+
+	// One chunk per grid slot of the first column, each holding one cell.
+	var batch []*array.Chunk
+	for y := int64(0); y < 4; y++ {
+		ch := array.NewChunk(schema, array.ChunkCoord{0, y})
+		ch.AppendCell(array.Coord{0, y * 4}, []array.CellValue{{Float: float64(y)}})
+		batch = append(batch, ch)
+	}
+
+	// Phase 1: plan. All fallible work happens here; the chunks are now
+	// reserved in the catalog and no concurrent batch can claim them.
+	plan, err := c.PlanInsert(batch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("planned %d chunks to %d destinations\n", plan.NumChunks(), plan.NumDestinations())
+
+	// Phase 2: execute. Writes fan out one goroutine per destination.
+	if _, err := c.ExecutePlan(plan); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stored %d chunks on %d nodes\n", c.NumChunks(), c.NumNodes())
+
+	// A plan that will not be executed must be discarded, or its
+	// reservations would keep Validate reporting it as outstanding.
+	ch := array.NewChunk(schema, array.ChunkCoord{1, 0})
+	ch.AppendCell(array.Coord{4, 0}, []array.CellValue{{Float: 9}})
+	stray, err := c.PlanInsert([]*array.Chunk{ch})
+	if err != nil {
+		log.Fatal(err)
+	}
+	stray.Discard()
+
+	if err := c.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("catalog and stores agree")
+	// Output:
+	// planned 4 chunks to 2 destinations
+	// stored 4 chunks on 2 nodes
+	// catalog and stores agree
+}

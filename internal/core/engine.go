@@ -42,6 +42,10 @@ type Config struct {
 	MaxNodes int
 	// RunQueries runs the workload's benchmark suite each cycle.
 	RunQueries bool
+	// Parallelism caps the query scan executor's worker pool
+	// (cluster.Config.Parallelism): 0 gates it at GOMAXPROCS, an
+	// explicit value pins the worker count for benchmark sweeps.
+	Parallelism int
 }
 
 // CycleStats records one workload cycle: the three phase durations, the
@@ -97,6 +101,7 @@ func NewEngine(gen workload.Generator, cfg Config) (*Engine, error) {
 		InitialNodes: cfg.InitialNodes,
 		NodeCapacity: cfg.NodeCapacity,
 		Cost:         cfg.Cost,
+		Parallelism:  cfg.Parallelism,
 		Partitioner: func(initial []partition.NodeID) (partition.Partitioner, error) {
 			return partition.New(cfg.PartitionerKind, initial, geom, cfg.PartitionerOptions)
 		},

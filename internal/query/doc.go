@@ -1,0 +1,51 @@
+// Package query implements the paper's two benchmark suites (Section 3.3)
+// as distributed operators over the cluster substrate: the conventional
+// Select-Project-Join set (selection, sort/quantile, join) and the
+// science-analytics set (group-by statistics, modeling via k-means and
+// k-nearest-neighbours, and complex projections: windowed aggregates and
+// collision prediction).
+//
+// Operators execute for real over the chunks resident on each node and
+// account simulated time through a Tracker: per-node disk and CPU charges
+// run in parallel (the elapsed time of the scan phase is the slowest
+// node's — which is how storage skew becomes query latency), while network
+// transfers (halo exchange, join shipping, partial-aggregate collection)
+// are charged serially at the fabric rate — which is how losing spatial
+// clustering becomes query latency.
+//
+// # The scan executor
+//
+// Every operator runs its chunk scans on Exec, a worker-pool executor.
+// scanTargets enumerates the (node, chunks) work list in canonical order —
+// ascending node ID, chunks in (array, coordinate) order within a node —
+// and Exec applies the operator's scan closure to each unit of work on up
+// to Parallelism workers (cluster.Config.Parallelism / SetParallelism;
+// 0 gates the pool at GOMAXPROCS). Per-node work units mirror the
+// shared-nothing model: one scan stream per node, so per-node state (a
+// sampler's RNG, a replica hash table, a partial-aggregate map) lives
+// inside one closure invocation. Chunk-level units are used where the
+// heavy compute is per chunk (the windowed aggregate, the collision pair
+// count, the halo exchange).
+//
+// # Determinism guarantee
+//
+// Parallel execution is result-identical to the serial path — Result.Value
+// byte for byte, not merely approximately. Three mechanisms make that
+// hold, echoing the determinism concerns of parallel reduction in
+// general:
+//
+//   - Exec returns per-item partial results indexed by item, and operators
+//     fold them in item order; a floating-point reduction therefore
+//     associates identically whether one worker or eight produced the
+//     partials, and any remaining map-ordered folds (group merges) happen
+//     over sorted keys.
+//   - Tracker charges are integer byte/cell counts. Workers charge private
+//     Tracker shards that are merged once at the pool barrier; integer
+//     addition commutes, so the per-node totals — and hence Elapsed, the
+//     simulated latency — equal the serial path's exactly.
+//   - Errors are collected per item and reported first-in-item-order, so
+//     even failures are scheduling-independent.
+//
+// The Tracker itself is mutex-protected, so operators that manage their
+// own goroutines may also charge one shared Tracker directly.
+package query

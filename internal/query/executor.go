@@ -1,0 +1,146 @@
+package query
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/array"
+	"repro/internal/cluster"
+	"repro/internal/partition"
+)
+
+// NodeScan is the unit of scan work the executor hands a worker: one
+// node's resident chunks of an array, in canonical (array, coordinate)
+// order. Grouping by owning node mirrors the shared-nothing execution
+// model — one scan stream per node — and lets per-node state (a sampler's
+// RNG, a replica hash table, a partial-aggregate map) live for exactly one
+// closure invocation, as it did in the serial loops.
+type NodeScan struct {
+	Node   partition.NodeID
+	Chunks []*array.Chunk
+}
+
+// scanTargets enumerates the per-node scan work for an array: every
+// cluster node in ascending ID order, each carrying its resident chunks of
+// the array in canonical order, optionally filtered by keep. Nodes holding
+// no matching chunks are included with an empty chunk list so per-node
+// preambles (replica lookups, per-node network charges) run exactly as
+// they would serially.
+func scanTargets(c *cluster.Cluster, arrayName string, keep func(*array.Chunk) bool) []NodeScan {
+	ids := c.Nodes()
+	out := make([]NodeScan, 0, len(ids))
+	for _, id := range ids {
+		node, _ := c.Node(id)
+		var chunks []*array.Chunk
+		for _, ch := range chunksOfArray(node, arrayName) {
+			if keep != nil && !keep(ch) {
+				continue
+			}
+			chunks = append(chunks, ch)
+		}
+		out = append(out, NodeScan{Node: id, Chunks: chunks})
+	}
+	return out
+}
+
+// Exec is the worker-pool scan executor every query operator runs on. It
+// applies scan to each item on a pool of workers and returns the per-item
+// results in item order, merging each worker's private Tracker shard into
+// t once all workers have finished.
+//
+// parallelism caps the worker count: 0 (the cluster default) gates the
+// pool at GOMAXPROCS, an explicit positive value — the Parallelism knob
+// threaded through cluster.Config — is honoured as given so sweeps and
+// race tests can oversubscribe a small machine. The pool never exceeds
+// len(items), and a single-worker pool runs inline on the calling
+// goroutine, charging t directly.
+//
+// # Determinism
+//
+// Exec guarantees result-identical execution at every parallelism level:
+//
+//   - Results are indexed by item, not by completion order. Callers fold
+//     them in item order, so a floating-point reduction associates
+//     identically whether one worker or eight produced the partials.
+//   - Tracker charges are integer sums, which commute; merging worker
+//     shards in any order yields exactly the serial per-node totals.
+//   - The first error in item order wins, so the reported failure does
+//     not depend on worker scheduling: an item is only skipped once a
+//     lower-indexed item has failed, and such an item can never carry the
+//     winning error.
+//
+// Each item is scanned by exactly one worker, so scan closures may keep
+// per-item state freely; anything shared across items must be read-only or
+// synchronised (the ported operators only read shared cluster state).
+func Exec[I, T any](t *Tracker, parallelism int, items []I, scan func(w *Tracker, item I) (T, error)) ([]T, error) {
+	results := make([]T, len(items))
+	if len(items) == 0 {
+		return results, nil
+	}
+	workers := parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(items) {
+		workers = len(items)
+	}
+	if workers == 1 {
+		for i, item := range items {
+			v, err := scan(t, item)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = v
+		}
+		return results, nil
+	}
+	errs := make([]error, len(items))
+	shards := make([]*Tracker, workers)
+	var next atomic.Int64
+	// errIdx is the lowest item index seen to fail; items above it are
+	// skipped (they cannot carry the winning error), items at or below it
+	// still run, so the lowest-erroring item is always scanned.
+	var errIdx atomic.Int64
+	errIdx.Store(int64(len(items)))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		shard := t.shard()
+		shards[w] = shard
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(items) {
+					return
+				}
+				if int64(i) > errIdx.Load() {
+					continue
+				}
+				v, err := scan(shard, items[i])
+				if err != nil {
+					errs[i] = err
+					for {
+						cur := errIdx.Load()
+						if int64(i) >= cur || errIdx.CompareAndSwap(cur, int64(i)) {
+							break
+						}
+					}
+					continue
+				}
+				results[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	for _, shard := range shards {
+		t.merge(shard)
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}

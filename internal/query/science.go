@@ -33,10 +33,19 @@ type GroupBySpec struct {
 	FilterMin  float64
 }
 
+// acc is one group's partial aggregate.
+type acc struct {
+	sum   float64
+	count int64
+}
+
 // GroupByAggregate executes the spec: every node folds its resident cells
 // into partial per-group accumulators, ships the partials to the
 // coordinator, and the coordinator merges. Latency is the slowest node's
-// scan plus the (small) partial transfer.
+// scan plus the (small) partial transfer. Node scans run on the executor's
+// worker pool; the coordinator merge folds partials in node order and
+// reads groups in sorted key order, so the result is identical at every
+// parallelism level.
 func GroupByAggregate(c *cluster.Cluster, spec GroupBySpec) (Result, error) {
 	s, err := schemaOf(c, spec.Array)
 	if err != nil {
@@ -90,33 +99,27 @@ func GroupByAggregate(c *cluster.Cluster, spec GroupBySpec) (Result, error) {
 		}
 		return false
 	}
-	intersects := func(cc array.ChunkCoord) bool {
+	t := NewTracker(c)
+	type groupPart struct {
+		local map[array.CoordKey]*acc
+		cells int64
+	}
+	targets := scanTargets(c, spec.Array, func(ch *array.Chunk) bool {
 		if len(spec.Regions) == 0 {
 			return true
 		}
 		for _, r := range spec.Regions {
-			if r.IntersectsChunk(s, cc) {
+			if r.IntersectsChunk(s, ch.Coords) {
 				return true
 			}
 		}
 		return false
-	}
-	type acc struct {
-		sum   float64
-		count int64
-	}
-	t := NewTracker(c)
-	global := make(map[array.CoordKey]*acc)
-	var cells int64
-	for _, id := range c.Nodes() {
-		node, _ := c.Node(id)
-		local := make(map[array.CoordKey]*acc)
-		for _, ch := range chunksOfArray(node, spec.Array) {
-			if !intersects(ch.Coords) {
-				continue
-			}
-			t.IO(id, ch.ProjectedSizeBytes(scanAttrs))
-			t.CPU(id, int64(ch.Len()))
+	})
+	parts, err := Exec(t, c.Parallelism(), targets, func(w *Tracker, ts NodeScan) (groupPart, error) {
+		p := groupPart{local: make(map[array.CoordKey]*acc)}
+		for _, ch := range ts.Chunks {
+			w.IO(ts.Node, ch.ProjectedSizeBytes(scanAttrs))
+			w.CPU(ts.Node, int64(ch.Len()))
 			cell := make(array.Coord, 0, len(s.Dims))
 			for i := 0; i < ch.Len(); i++ {
 				cell = ch.CellInto(i, cell)
@@ -127,20 +130,29 @@ func GroupByAggregate(c *cluster.Cluster, spec GroupBySpec) (Result, error) {
 					continue
 				}
 				key := groupKey(cell, spec.GroupDims, spec.GroupScale)
-				a, ok := local[key]
+				a, ok := p.local[key]
 				if !ok {
 					a = &acc{}
-					local[key] = a
+					p.local[key] = a
 				}
 				if aggIdx >= 0 {
 					a.sum += ch.AttrCols[aggIdx].Float64(i)
 				}
 				a.count++
-				cells++
+				p.cells++
 			}
 		}
-		t.Net(int64(len(local)) * 24) // key + sum + count per group
-		for k, a := range local {
+		w.Net(int64(len(p.local)) * 24) // key + sum + count per group
+		return p, nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	global := make(map[array.CoordKey]*acc)
+	var cells int64
+	for _, p := range parts {
+		cells += p.cells
+		for k, a := range p.local {
 			g, ok := global[k]
 			if !ok {
 				g = &acc{}
@@ -199,6 +211,15 @@ type point struct {
 	v    float64
 }
 
+// slabEntry is one chunk's worth of a slab gather: its grid position and
+// projected points, tagged with the owning node.
+type slabEntry struct {
+	key  array.CoordKey
+	cc   array.ChunkCoord
+	home partition.NodeID
+	pts  []point
+}
+
 // gatherSlab collects, per chunk of the given time slab: the chunk's own
 // points and the halo points (cells of spatially neighbouring chunks
 // within `radius` of the chunk's bounds). Remote halo cells are charged to
@@ -206,31 +227,23 @@ type point struct {
 // xDim/yDim indexes identify the spatial dimensions; valAttr < 0 loads no
 // value column; radius < 0 skips the halo exchange entirely (callers that
 // fetch neighbour chunks on demand, like KNN, charge their own transfers).
+//
+// Both phases run on the scan executor: the projection scan per node, and
+// — once every chunk's points are assembled — the halo pull per chunk.
 func gatherSlab(c *cluster.Cluster, t *Tracker, s *array.Schema, timeChunk int64, xDim, yDim, valAttr int, radius int64) (map[array.CoordKey][]point, map[array.CoordKey][]point, map[array.CoordKey]partition.NodeID, error) {
-	own := make(map[array.CoordKey][]point)
-	halo := make(map[array.CoordKey][]point)
-	homes := make(map[array.CoordKey]partition.NodeID)
-	scanned := make(map[array.CoordKey]bool)
 	var scanAttrs []int
 	if valAttr >= 0 {
 		scanAttrs = append(scanAttrs, valAttr)
 	}
 	cellBytes := int64(len(s.Dims))*8 + 8
 
-	var slab []*array.Chunk
-	for _, id := range c.Nodes() {
-		node, _ := c.Node(id)
-		for _, ch := range chunksOfArray(node, s.Name) {
-			if ch.Coords[0] != timeChunk {
-				continue
-			}
-			slab = append(slab, ch)
-			key := ch.Key().Coord()
-			homes[key] = id
-			if !scanned[key] {
-				scanned[key] = true
-				t.IO(id, ch.ProjectedSizeBytes(scanAttrs))
-			}
+	targets := scanTargets(c, s.Name, func(ch *array.Chunk) bool {
+		return ch.Coords[0] == timeChunk
+	})
+	parts, err := Exec(t, c.Parallelism(), targets, func(w *Tracker, ts NodeScan) ([]slabEntry, error) {
+		entries := make([]slabEntry, 0, len(ts.Chunks))
+		for _, ch := range ts.Chunks {
+			w.IO(ts.Node, ch.ProjectedSizeBytes(scanAttrs))
 			pts := make([]point, 0, ch.Len())
 			for i := 0; i < ch.Len(); i++ {
 				var v float64
@@ -243,35 +256,65 @@ func gatherSlab(c *cluster.Cluster, t *Tracker, s *array.Schema, timeChunk int64
 					v: v,
 				})
 			}
-			own[key] = pts
+			entries = append(entries, slabEntry{
+				key:  ch.Key().Coord(),
+				cc:   ch.Coords,
+				home: ts.Node,
+				pts:  pts,
+			})
+		}
+		return entries, nil
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	own := make(map[array.CoordKey][]point)
+	halo := make(map[array.CoordKey][]point)
+	homes := make(map[array.CoordKey]partition.NodeID)
+	var slab []slabEntry
+	for _, entries := range parts {
+		for _, e := range entries {
+			own[e.key] = e.pts
+			homes[e.key] = e.home
+			slab = append(slab, e)
 		}
 	}
 	if radius < 0 {
 		return own, halo, homes, nil
 	}
 	// Halo exchange: each chunk pulls boundary cells from its spatial
-	// neighbours in the same slab.
-	for _, ch := range slab {
-		key := ch.Key().Coord()
-		home := homes[key]
-		lo, hi := s.ChunkBounds(ch.Coords)
-		for _, ncc := range spatialNeighbors(s, ch.Coords, xDim, yDim) {
+	// neighbours in the same slab. The complete own map is read-only here,
+	// and each chunk's halo is an independent result, so the pulls
+	// parallelise per chunk.
+	halos, err := Exec(t, c.Parallelism(), slab, func(w *Tracker, e slabEntry) ([]point, error) {
+		var pulled []point
+		lo, hi := s.ChunkBounds(e.cc)
+		for _, ncc := range spatialNeighbors(s, e.cc, xDim, yDim) {
 			nKey := ncc.Packed()
 			nPts, ok := own[nKey]
 			if !ok {
 				continue // neighbour chunk empty / absent
 			}
-			var pulled int64
+			var n int64
 			for _, p := range nPts {
 				if p.x >= float64(lo[xDim])-float64(radius) && p.x <= float64(hi[xDim])+float64(radius) &&
 					p.y >= float64(lo[yDim])-float64(radius) && p.y <= float64(hi[yDim])+float64(radius) {
-					halo[key] = append(halo[key], p)
-					pulled++
+					pulled = append(pulled, p)
+					n++
 				}
 			}
-			if homes[nKey] != home && pulled > 0 {
-				t.Net(pulled * cellBytes)
+			if homes[nKey] != e.home && n > 0 {
+				w.Net(n * cellBytes)
 			}
+		}
+		return pulled, nil
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	for i, e := range slab {
+		if len(halos[i]) > 0 {
+			halo[e.key] = halos[i]
 		}
 	}
 	return own, halo, homes, nil
@@ -302,7 +345,10 @@ func spatialNeighbors(s *array.Schema, cc array.ChunkCoord, xDim, yDim int) []ar
 // within Chebyshev radius `radius` of it — a partially overlapping sample
 // space that needs halo cells from neighbouring chunks. When neighbours
 // live on other nodes the halo crosses the network, which is exactly why
-// n-dimensionally clustered partitioners win this query.
+// n-dimensionally clustered partitioners win this query. The per-chunk
+// window computation — the dominant cost — runs on the executor pool, with
+// per-chunk partial means folded in sorted chunk order so the float
+// reduction is identical at every parallelism level.
 func WindowAggregate(c *cluster.Cluster, arrayName, attr string, timeChunk, radius int64) (Result, error) {
 	s, err := schemaOf(c, arrayName)
 	if err != nil {
@@ -323,8 +369,6 @@ func WindowAggregate(c *cluster.Cluster, arrayName, attr string, timeChunk, radi
 	if err != nil {
 		return Result{}, err
 	}
-	var outputs int64
-	var grand float64
 	// Iterate chunks in sorted order: float accumulation must not depend
 	// on map iteration order, or results differ run to run.
 	ownKeys := make([]array.CoordKey, 0, len(own))
@@ -332,24 +376,39 @@ func WindowAggregate(c *cluster.Cluster, arrayName, attr string, timeChunk, radi
 		ownKeys = append(ownKeys, key)
 	}
 	sort.Slice(ownKeys, func(i, j int) bool { return ownKeys[i].Less(ownKeys[j]) })
-	for _, key := range ownKeys {
+	type windowPart struct {
+		grand   float64
+		outputs int64
+	}
+	parts, err := Exec(t, c.Parallelism(), ownKeys, func(w *Tracker, key array.CoordKey) (windowPart, error) {
 		centers := own[key]
 		cand := append(append([]point(nil), centers...), halo[key]...)
-		t.CPU(homes[key], int64(len(centers))*int64(1+len(cand)/8))
+		w.CPU(homes[key], int64(len(centers))*int64(1+len(cand)/8))
+		var p windowPart
 		for _, ctr := range centers {
 			var sum float64
 			var n int
-			for _, p := range cand {
-				if math.Abs(p.x-ctr.x) <= float64(radius) && math.Abs(p.y-ctr.y) <= float64(radius) {
-					sum += p.v
+			for _, pt := range cand {
+				if math.Abs(pt.x-ctr.x) <= float64(radius) && math.Abs(pt.y-ctr.y) <= float64(radius) {
+					sum += pt.v
 					n++
 				}
 			}
 			if n > 0 {
-				grand += sum / float64(n)
-				outputs++
+				p.grand += sum / float64(n)
+				p.outputs++
 			}
 		}
+		return p, nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	var outputs int64
+	var grand float64
+	for _, p := range parts {
+		grand += p.grand
+		outputs += p.outputs
 	}
 	mean := 0.0
 	if outputs > 0 {
@@ -361,8 +420,9 @@ func WindowAggregate(c *cluster.Cluster, arrayName, attr string, timeChunk, radi
 // KMeans runs the MODIS Modeling benchmark: k-means over (longitude,
 // latitude, value) of the cells inside the region — the paper clusters the
 // Amazon's vegetation index to find deforestation. Assignment and partial
-// centroid sums run node-local each iteration; only the k centroids cross
-// the network between iterations.
+// centroid sums run node-local each iteration — on the executor pool, one
+// task per node, partials folded in node order — and only the k centroids
+// cross the network between iterations.
 func KMeans(c *cluster.Cluster, arrayName, attr string, region Region, k, iters int) (Result, error) {
 	s, err := schemaOf(c, arrayName)
 	if err != nil {
@@ -382,33 +442,36 @@ func KMeans(c *cluster.Cluster, arrayName, attr string, region Region, k, iters 
 		return Result{}, err
 	}
 	t := NewTracker(c)
+	par := c.Parallelism()
 	// Gather features node-local; IO charged once (iterations hit cache).
-	perNode := make(map[partition.NodeID][]point)
-	for _, id := range c.Nodes() {
-		node, _ := c.Node(id)
-		for _, ch := range chunksOfArray(node, arrayName) {
-			if !region.IntersectsChunk(s, ch.Coords) {
-				continue
-			}
-			t.IO(id, ch.ProjectedSizeBytes(attrIdx))
+	targets := scanTargets(c, arrayName, func(ch *array.Chunk) bool {
+		return region.IntersectsChunk(s, ch.Coords)
+	})
+	perNode, err := Exec(t, par, targets, func(w *Tracker, ts NodeScan) ([]point, error) {
+		var pts []point
+		for _, ch := range ts.Chunks {
+			w.IO(ts.Node, ch.ProjectedSizeBytes(attrIdx))
 			cell := make(array.Coord, 0, len(s.Dims))
 			for i := 0; i < ch.Len(); i++ {
 				cell = ch.CellInto(i, cell)
 				if !region.ContainsCell(cell) {
 					continue
 				}
-				perNode[id] = append(perNode[id], point{
+				pts = append(pts, point{
 					x: float64(cell[1]),
 					y: float64(cell[2]),
 					v: ch.AttrCols[attrIdx[0]].Float64(i),
 				})
 			}
 		}
+		return pts, nil
+	})
+	if err != nil {
+		return Result{}, err
 	}
 	var all []point
-	ids := c.Nodes()
-	for _, id := range ids {
-		all = append(all, perNode[id]...)
+	for _, pts := range perNode {
+		all = append(all, pts...)
 	}
 	if len(all) < k {
 		return Result{}, fmt.Errorf("query: only %d cells in region, need k=%d", len(all), k)
@@ -418,29 +481,55 @@ func KMeans(c *cluster.Cluster, arrayName, attr string, region Region, k, iters 
 	for i := range centroids {
 		centroids[i] = all[i*len(all)/k]
 	}
+	type nodePoints struct {
+		node partition.NodeID
+		pts  []point
+	}
+	nodeItems := make([]nodePoints, len(targets))
+	for i, ts := range targets {
+		nodeItems[i] = nodePoints{node: ts.Node, pts: perNode[i]}
+	}
+	type kmPart struct {
+		sums    []point
+		counts  []int64
+		inertia float64
+	}
 	var inertia float64
 	for it := 0; it < iters; it++ {
-		sums := make([]point, k)
-		counts := make([]int64, k)
-		inertia = 0
-		for _, id := range ids {
-			pts := perNode[id]
-			t.CPU(id, int64(len(pts))*int64(k))
-			for _, p := range pts {
+		parts, err := Exec(t, par, nodeItems, func(w *Tracker, np nodePoints) (kmPart, error) {
+			p := kmPart{sums: make([]point, k), counts: make([]int64, k)}
+			w.CPU(np.node, int64(len(np.pts))*int64(k))
+			for _, pt := range np.pts {
 				best, bestD := 0, math.Inf(1)
 				for ci, ct := range centroids {
-					d := sq(p.x-ct.x) + sq(p.y-ct.y) + sq(p.v-ct.v)
+					d := sq(pt.x-ct.x) + sq(pt.y-ct.y) + sq(pt.v-ct.v)
 					if d < bestD {
 						best, bestD = ci, d
 					}
 				}
-				sums[best].x += p.x
-				sums[best].y += p.y
-				sums[best].v += p.v
-				counts[best]++
-				inertia += bestD
+				p.sums[best].x += pt.x
+				p.sums[best].y += pt.y
+				p.sums[best].v += pt.v
+				p.counts[best]++
+				p.inertia += bestD
 			}
-			t.Net(int64(k) * 32) // partial centroids to the coordinator
+			w.Net(int64(k) * 32) // partial centroids to the coordinator
+			return p, nil
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		sums := make([]point, k)
+		counts := make([]int64, k)
+		inertia = 0
+		for _, p := range parts {
+			for ci := 0; ci < k; ci++ {
+				sums[ci].x += p.sums[ci].x
+				sums[ci].y += p.sums[ci].y
+				sums[ci].v += p.sums[ci].v
+				counts[ci] += p.counts[ci]
+			}
+			inertia += p.inertia
 		}
 		for ci := range centroids {
 			if counts[ci] > 0 {
@@ -451,7 +540,7 @@ func KMeans(c *cluster.Cluster, arrayName, attr string, region Region, k, iters 
 				}
 			}
 		}
-		t.Net(int64(k) * 32 * int64(len(ids))) // broadcast revised centroids
+		t.Net(int64(k) * 32 * int64(len(targets))) // broadcast revised centroids
 	}
 	return t.Finish(int64(len(all)), inertia), nil
 }
@@ -463,7 +552,8 @@ func sq(x float64) float64 { return x * x }
 // slab. Each search examines the query's own chunk plus its spatial
 // neighbours; remote candidate chunks ship their positions across the
 // network — the cost that halves when the partitioner preserves array
-// space (Fig 7).
+// space (Fig 7). The slab gather runs on the executor pool; the searches
+// themselves share a transfer-dedup table and stay sequential.
 func KNN(c *cluster.Cluster, arrayName string, timeChunk int64, nQueries, k int) (Result, error) {
 	s, err := schemaOf(c, arrayName)
 	if err != nil {
@@ -576,7 +666,9 @@ func kthDistance(q point, cand []point, k int) float64 {
 // heading, then count pairs projected within `eps` cells of each other —
 // candidate collisions. Ships near chunk borders need neighbouring chunks'
 // projections, so the query performs the same halo exchange as the
-// windowed aggregate.
+// windowed aggregate. Both the projection scan (per node) and the
+// quadratic pair count (per chunk) run on the executor pool; the collision
+// count is an integer sum, so any fold order is exact.
 func CollisionProjection(c *cluster.Cluster, arrayName string, timeChunk int64, horizon float64, eps float64) (Result, error) {
 	s, err := schemaOf(c, arrayName)
 	if err != nil {
@@ -594,20 +686,18 @@ func CollisionProjection(c *cluster.Cluster, arrayName string, timeChunk int64, 
 		return Result{}, err
 	}
 	t := NewTracker(c)
+	par := c.Parallelism()
 	// Project per chunk where the data lives.
-	proj := make(map[array.CoordKey][]point)
-	homes := make(map[array.CoordKey]partition.NodeID)
 	scan := []int{speedIdx[0], headingIdx[0]}
-	for _, id := range c.Nodes() {
-		node, _ := c.Node(id)
-		for _, ch := range chunksOfArray(node, arrayName) {
-			if ch.Coords[0] != timeChunk {
-				continue
-			}
-			key := ch.Key().Coord()
-			homes[key] = id
-			t.IO(id, ch.ProjectedSizeBytes(scan))
-			t.CPU(id, int64(ch.Len()))
+	targets := scanTargets(c, arrayName, func(ch *array.Chunk) bool {
+		return ch.Coords[0] == timeChunk
+	})
+	parts, err := Exec(t, par, targets, func(w *Tracker, ts NodeScan) ([]slabEntry, error) {
+		entries := make([]slabEntry, 0, len(ts.Chunks))
+		for _, ch := range ts.Chunks {
+			w.IO(ts.Node, ch.ProjectedSizeBytes(scan))
+			w.CPU(ts.Node, int64(ch.Len()))
+			var pts []point
 			for i := 0; i < ch.Len(); i++ {
 				speed := ch.AttrCols[speedIdx[0]].Float64(i)
 				if speed <= 0 {
@@ -618,37 +708,53 @@ func CollisionProjection(c *cluster.Cluster, arrayName string, timeChunk int64, 
 				// into cell units; the constant matters less than the
 				// geometry being real.
 				d := speed * horizon / 600
-				proj[key] = append(proj[key], point{
+				pts = append(pts, point{
 					x: float64(ch.DimCols[1][i]) + d*math.Sin(heading),
 					y: float64(ch.DimCols[2][i]) + d*math.Cos(heading),
 				})
 			}
+			if len(pts) > 0 {
+				entries = append(entries, slabEntry{
+					key:  ch.Key().Coord(),
+					cc:   ch.Coords,
+					home: ts.Node,
+					pts:  pts,
+				})
+			}
+		}
+		return entries, nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	proj := make(map[array.CoordKey][]point)
+	homes := make(map[array.CoordKey]partition.NodeID)
+	var entries []slabEntry
+	for _, es := range parts {
+		for _, e := range es {
+			proj[e.key] = e.pts
+			homes[e.key] = e.home
+			entries = append(entries, e)
 		}
 	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].key.Less(entries[j].key) })
 	cellBytes := int64(16)
-	var collisions int64
-	keys := make([]array.CoordKey, 0, len(proj))
-	for key := range proj {
-		keys = append(keys, key)
-	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i].Less(keys[j]) })
-	for _, key := range keys {
-		centers := proj[key]
-		home := homes[key]
-		cc := key.Coords()
+	counts, err := Exec(t, par, entries, func(w *Tracker, e slabEntry) (int64, error) {
+		centers := e.pts
 		cand := append([]point(nil), centers...)
-		for _, ncc := range spatialNeighbors(s, cc, 1, 2) {
+		for _, ncc := range spatialNeighbors(s, e.cc, 1, 2) {
 			nKey := ncc.Packed()
 			nPts, ok := proj[nKey]
 			if !ok {
 				continue
 			}
-			if homes[nKey] != home {
-				t.Net(int64(len(nPts)) * cellBytes)
+			if homes[nKey] != e.home {
+				w.Net(int64(len(nPts)) * cellBytes)
 			}
 			cand = append(cand, nPts...)
 		}
-		t.CPU(home, int64(len(centers))*int64(1+len(cand)/8))
+		w.CPU(e.home, int64(len(centers))*int64(1+len(cand)/8))
+		var collisions int64
 		for i, a := range centers {
 			// Within-chunk pairs are counted once (j > i). Cross-chunk
 			// pairs are seen from both chunks; counting both keeps the
@@ -660,6 +766,14 @@ func CollisionProjection(c *cluster.Cluster, arrayName string, timeChunk int64, 
 				}
 			}
 		}
+		return collisions, nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	var collisions int64
+	for _, n := range counts {
+		collisions += n
 	}
 	return t.Finish(collisions, float64(collisions)), nil
 }

@@ -29,21 +29,28 @@ func SelectRegion(c *cluster.Cluster, arrayName string, region Region, attrs []s
 		return Result{}, err
 	}
 	t := NewTracker(c)
-	var matched int64
-	for _, id := range c.Nodes() {
-		node, _ := c.Node(id)
-		for _, ch := range chunksOfArray(node, arrayName) {
-			if !region.IntersectsChunk(s, ch.Coords) {
-				continue
-			}
-			t.IO(id, ch.ProjectedSizeBytes(attrIdx))
-			t.CPU(id, int64(ch.Len()))
+	targets := scanTargets(c, arrayName, func(ch *array.Chunk) bool {
+		return region.IntersectsChunk(s, ch.Coords)
+	})
+	parts, err := Exec(t, c.Parallelism(), targets, func(w *Tracker, ts NodeScan) (int64, error) {
+		var matched int64
+		for _, ch := range ts.Chunks {
+			w.IO(ts.Node, ch.ProjectedSizeBytes(attrIdx))
+			w.CPU(ts.Node, int64(ch.Len()))
 			if region.ContainsChunk(s, ch.Coords) {
 				matched += int64(ch.Len())
 				continue
 			}
 			matched += int64(len(ch.Filter(region.ContainsCell)))
 		}
+		return matched, nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	var matched int64
+	for _, m := range parts {
+		matched += m
 	}
 	return t.Finish(matched, float64(matched)), nil
 }
@@ -51,7 +58,8 @@ func SelectRegion(c *cluster.Cluster, arrayName string, region Region, attrs []s
 // Quantile runs the benchmark's Sort query for MODIS: estimate the q-th
 // quantile of an attribute from a uniform random sample — a parallelized
 // sort. Every node scans its chunks, samples locally, and ships the sample
-// to the coordinator, which sorts and interpolates.
+// to the coordinator, which sorts and interpolates. Each node's sampler is
+// seeded by its ID, so the sample is identical at every parallelism level.
 func Quantile(c *cluster.Cluster, arrayName, attr string, q, sampleFrac float64) (Result, error) {
 	s, err := schemaOf(c, arrayName)
 	if err != nil {
@@ -65,15 +73,14 @@ func Quantile(c *cluster.Cluster, arrayName, attr string, q, sampleFrac float64)
 		return Result{}, fmt.Errorf("query: sample fraction %v outside (0,1]", sampleFrac)
 	}
 	t := NewTracker(c)
-	var sample []float64
 	coord := c.Coordinator()
-	for _, id := range c.Nodes() {
-		node, _ := c.Node(id)
-		rng := rand.New(rand.NewSource(int64(id)*7919 + 1))
+	targets := scanTargets(c, arrayName, nil)
+	parts, err := Exec(t, c.Parallelism(), targets, func(w *Tracker, ts NodeScan) ([]float64, error) {
+		rng := rand.New(rand.NewSource(int64(ts.Node)*7919 + 1))
 		var local []float64
-		for _, ch := range chunksOfArray(node, arrayName) {
-			t.IO(id, ch.ProjectedSizeBytes(attrIdx))
-			t.CPU(id, int64(ch.Len()))
+		for _, ch := range ts.Chunks {
+			w.IO(ts.Node, ch.ProjectedSizeBytes(attrIdx))
+			w.CPU(ts.Node, int64(ch.Len()))
 			col := ch.AttrCols[attrIdx[0]]
 			for i := 0; i < col.Len(); i++ {
 				if rng.Float64() < sampleFrac {
@@ -81,7 +88,14 @@ func Quantile(c *cluster.Cluster, arrayName, attr string, q, sampleFrac float64)
 				}
 			}
 		}
-		t.Net(int64(len(local)) * 8) // ship the sample to the coordinator
+		w.Net(int64(len(local)) * 8) // ship the sample to the coordinator
+		return local, nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	var sample []float64
+	for _, local := range parts {
 		sample = append(sample, local...)
 	}
 	if len(sample) == 0 {
@@ -110,22 +124,28 @@ func DistinctSorted(c *cluster.Cluster, arrayName, attr string) (Result, error) 
 	}
 	t := NewTracker(c)
 	coord := c.Coordinator()
-	global := make(map[int64]bool)
-	for _, id := range c.Nodes() {
-		node, _ := c.Node(id)
+	targets := scanTargets(c, arrayName, nil)
+	parts, err := Exec(t, c.Parallelism(), targets, func(w *Tracker, ts NodeScan) (map[int64]bool, error) {
 		local := make(map[int64]bool)
-		for _, ch := range chunksOfArray(node, arrayName) {
-			t.IO(id, ch.ProjectedSizeBytes(attrIdx))
-			t.CPU(id, int64(ch.Len()))
+		for _, ch := range ts.Chunks {
+			w.IO(ts.Node, ch.ProjectedSizeBytes(attrIdx))
+			w.CPU(ts.Node, int64(ch.Len()))
 			col, ok := ch.AttrCols[attrIdx[0]].(*array.IntColumn)
 			if !ok {
-				return Result{}, fmt.Errorf("query: DistinctSorted needs an integer attribute, %s.%s is %v", arrayName, attr, s.Attrs[attrIdx[0]].Type)
+				return nil, fmt.Errorf("query: DistinctSorted needs an integer attribute, %s.%s is %v", arrayName, attr, s.Attrs[attrIdx[0]].Type)
 			}
 			for _, v := range col.Vals {
 				local[v] = true
 			}
 		}
-		t.Net(int64(len(local)) * 8)
+		w.Net(int64(len(local)) * 8)
+		return local, nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	global := make(map[int64]bool)
+	for _, local := range parts {
 		for v := range local {
 			global[v] = true
 		}
@@ -168,14 +188,16 @@ func JoinBands(c *cluster.Cluster, left, right, attr string, timeChunk int64) (R
 		return Result{}, err
 	}
 	t := NewTracker(c)
-	var matches int64
-	var ndviSum float64
-	for _, id := range c.Nodes() {
-		node, _ := c.Node(id)
-		for _, lch := range chunksOfArray(node, left) {
-			if lch.Coords[0] != timeChunk {
-				continue
-			}
+	type joinPart struct {
+		matches int64
+		ndviSum float64
+	}
+	targets := scanTargets(c, left, func(ch *array.Chunk) bool {
+		return ch.Coords[0] == timeChunk
+	})
+	parts, err := Exec(t, c.Parallelism(), targets, func(w *Tracker, ts NodeScan) (joinPart, error) {
+		var p joinPart
+		for _, lch := range ts.Chunks {
 			rref := array.ChunkRef{Array: right, Coords: lch.Coords}
 			rOwner, ok := c.Owner(array.MakeChunkKey(rs.ID(), lch.Key().Coord()))
 			if !ok {
@@ -184,27 +206,37 @@ func JoinBands(c *cluster.Cluster, left, right, attr string, timeChunk int64) (R
 			rNode, _ := c.Node(rOwner)
 			rch, ok := rNode.Chunk(rref)
 			if !ok {
-				return Result{}, fmt.Errorf("query: catalog places %s on node %d but it is missing", rref, rOwner)
+				return joinPart{}, fmt.Errorf("query: catalog places %s on node %d but it is missing", rref, rOwner)
 			}
 			// Scan both sides where they live.
-			t.IO(id, lch.ProjectedSizeBytes(lAttr))
-			t.IO(rOwner, rch.ProjectedSizeBytes(rAttr))
+			w.IO(ts.Node, lch.ProjectedSizeBytes(lAttr))
+			w.IO(rOwner, rch.ProjectedSizeBytes(rAttr))
 			// Collocate: ship the smaller side if they differ.
-			execNode := id
-			if rOwner != id {
+			execNode := ts.Node
+			if rOwner != ts.Node {
 				lb, rb := lch.ProjectedSizeBytes(lAttr), rch.ProjectedSizeBytes(rAttr)
 				if lb < rb {
-					t.Net(lb)
+					w.Net(lb)
 					execNode = rOwner
 				} else {
-					t.Net(rb)
+					w.Net(rb)
 				}
 			}
-			t.CPU(execNode, int64(lch.Len()+rch.Len()))
+			w.CPU(execNode, int64(lch.Len()+rch.Len()))
 			m, sum := structuralJoinNDVI(lch, rch, lAttr[0], rAttr[0])
-			matches += m
-			ndviSum += sum
+			p.matches += m
+			p.ndviSum += sum
 		}
+		return p, nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	var matches int64
+	var ndviSum float64
+	for _, p := range parts {
+		matches += p.matches
+		ndviSum += p.ndviSum
 	}
 	mean := 0.0
 	if matches > 0 {
@@ -261,49 +293,61 @@ func JoinReplicated(c *cluster.Cluster, factArray, factKey, dimArray string, tim
 		return Result{}, err
 	}
 	t := NewTracker(c)
-	var joined int64
-	var typeSum float64
-	for _, id := range c.Nodes() {
-		node, _ := c.Node(id)
-		reps := node.Replicas()
+	type repPart struct {
+		joined  int64
+		typeSum float64
+	}
+	targets := scanTargets(c, factArray, func(ch *array.Chunk) bool {
+		return ch.Coords[0] == timeChunk
+	})
+	parts, err := Exec(t, c.Parallelism(), targets, func(w *Tracker, ts NodeScan) (repPart, error) {
+		node, _ := c.Node(ts.Node)
 		var dim *array.Chunk
-		for _, r := range reps {
+		for _, r := range node.Replicas() {
 			if r.Schema.Name == dimArray {
 				dim = r
 				break
 			}
 		}
 		if dim == nil {
-			return Result{}, fmt.Errorf("query: node %d is missing replica of %s", id, dimArray)
+			return repPart{}, fmt.Errorf("query: node %d is missing replica of %s", ts.Node, dimArray)
 		}
+		var p repPart
 		// Build the dimension hash table once per node.
 		dimIdx := make(map[int64]int, dim.Len())
 		for i := 0; i < dim.Len(); i++ {
 			dimIdx[dim.DimCols[0][i]] = i
 		}
 		charged := false
-		for _, ch := range chunksOfArray(node, factArray) {
-			if ch.Coords[0] != timeChunk {
-				continue
-			}
+		for _, ch := range ts.Chunks {
 			if !charged {
-				t.IO(id, dim.SizeBytes()) // one local read of the replica
-				t.CPU(id, int64(dim.Len()))
+				w.IO(ts.Node, dim.SizeBytes()) // one local read of the replica
+				w.CPU(ts.Node, int64(dim.Len()))
 				charged = true
 			}
-			t.IO(id, ch.ProjectedSizeBytes(keyIdx))
-			t.CPU(id, int64(ch.Len()))
+			w.IO(ts.Node, ch.ProjectedSizeBytes(keyIdx))
+			w.CPU(ts.Node, int64(ch.Len()))
 			keys, ok := ch.AttrCols[keyIdx[0]].(*array.IntColumn)
 			if !ok {
-				return Result{}, fmt.Errorf("query: join key %s.%s must be integer", factArray, factKey)
+				return repPart{}, fmt.Errorf("query: join key %s.%s must be integer", factArray, factKey)
 			}
 			for _, ship := range keys.Vals {
 				if di, ok := dimIdx[ship]; ok {
-					joined++
-					typeSum += dim.AttrCols[0].Float64(di)
+					p.joined++
+					p.typeSum += dim.AttrCols[0].Float64(di)
 				}
 			}
 		}
+		return p, nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	var joined int64
+	var typeSum float64
+	for _, p := range parts {
+		joined += p.joined
+		typeSum += p.typeSum
 	}
 	mean := 0.0
 	if joined > 0 {

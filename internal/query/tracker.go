@@ -1,21 +1,8 @@
-// Package query implements the paper's two benchmark suites (Section 3.3)
-// as distributed operators over the cluster substrate: the conventional
-// Select-Project-Join set (selection, sort/quantile, join) and the
-// science-analytics set (group-by statistics, modeling via k-means and
-// k-nearest-neighbours, and complex projections: windowed aggregates and
-// collision prediction).
-//
-// Operators execute for real over the chunks resident on each node and
-// account simulated time through a Tracker: per-node disk and CPU charges
-// run in parallel (the elapsed time of the scan phase is the slowest
-// node's — which is how storage skew becomes query latency), while network
-// transfers (halo exchange, join shipping, partial-aggregate collection)
-// are charged serially at the fabric rate — which is how losing spatial
-// clustering becomes query latency.
 package query
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/array"
 	"repro/internal/cluster"
@@ -38,8 +25,19 @@ type Result struct {
 }
 
 // Tracker accumulates the per-node and network charges of one operator.
+// It is safe for concurrent use: IO, CPU and Net may be called from any
+// number of goroutines. The scan executor (Exec) avoids paying that lock
+// per chunk by giving each worker a private shard and merging once at the
+// barrier; direct concurrent use is supported for operators that manage
+// their own goroutines.
+//
+// All charges are integer byte/cell counts, so the accumulated totals are
+// independent of arrival order — which is what lets a parallel scan report
+// exactly the per-node charges of the serial one.
 type Tracker struct {
-	c   *cluster.Cluster
+	c *cluster.Cluster
+
+	mu  sync.Mutex
 	io  map[partition.NodeID]int64
 	cpu map[partition.NodeID]int64
 	net int64
@@ -54,17 +52,49 @@ func NewTracker(c *cluster.Cluster) *Tracker {
 	}
 }
 
+// shard starts an empty worker-private account against the same cluster,
+// to be folded back with merge.
+func (t *Tracker) shard() *Tracker { return NewTracker(t.c) }
+
+// merge folds a worker shard's charges into t. The shard must be quiescent
+// (its worker done); t may be merged into concurrently.
+func (t *Tracker) merge(s *Tracker) {
+	t.mu.Lock()
+	for id, n := range s.io {
+		t.io[id] += n
+	}
+	for id, n := range s.cpu {
+		t.cpu[id] += n
+	}
+	t.net += s.net
+	t.mu.Unlock()
+}
+
 // IO charges a disk scan of n bytes on the node.
-func (t *Tracker) IO(node partition.NodeID, n int64) { t.io[node] += n }
+func (t *Tracker) IO(node partition.NodeID, n int64) {
+	t.mu.Lock()
+	t.io[node] += n
+	t.mu.Unlock()
+}
 
 // CPU charges processing of n cells on the node.
-func (t *Tracker) CPU(node partition.NodeID, n int64) { t.cpu[node] += n }
+func (t *Tracker) CPU(node partition.NodeID, n int64) {
+	t.mu.Lock()
+	t.cpu[node] += n
+	t.mu.Unlock()
+}
 
 // Net charges a transfer of n bytes across the fabric.
-func (t *Tracker) Net(n int64) { t.net += n }
+func (t *Tracker) Net(n int64) {
+	t.mu.Lock()
+	t.net += n
+	t.mu.Unlock()
+}
 
 // BytesScanned returns the total disk bytes charged so far.
 func (t *Tracker) BytesScanned() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	var total int64
 	for _, n := range t.io {
 		total += n
@@ -72,10 +102,26 @@ func (t *Tracker) BytesScanned() int64 {
 	return total
 }
 
+// NodeIO returns the disk bytes charged to the node so far.
+func (t *Tracker) NodeIO(node partition.NodeID) int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.io[node]
+}
+
+// NodeCPU returns the cells charged to the node so far.
+func (t *Tracker) NodeCPU(node partition.NodeID) int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.cpu[node]
+}
+
 // Elapsed folds the account into simulated time: nodes work in parallel
 // (the slowest one gates the operator), the network is charged serially,
 // and every operator pays the fixed coordination overhead.
 func (t *Tracker) Elapsed() cluster.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	m := t.c.Cost()
 	var worst cluster.Duration
 	for _, id := range t.c.Nodes() {
@@ -94,8 +140,14 @@ func (t *Tracker) Finish(cells int64, value float64) Result {
 		Cells:         cells,
 		Value:         value,
 		BytesScanned:  t.BytesScanned(),
-		BytesShuffled: t.net,
+		BytesShuffled: t.netTotal(),
 	}
+}
+
+func (t *Tracker) netTotal() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.net
 }
 
 // attrIndexes resolves attribute names to schema positions.
