@@ -316,11 +316,14 @@ func BenchmarkAblationCoAccessAdvisor(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.StartTimer()
-		moves, _, bef, aft, err := advisor.Advise(eng.Cluster(), []string{"Band1", "Band2"}, 1<<20, 1.4)
+		adv, err := advisor.Advise(eng.Cluster(), []string{"Band1", "Band2"}, 1<<20, 1.4)
 		if err != nil {
 			b.Fatal(err)
 		}
-		before, after, moved = bef, aft, len(moves)
+		if _, err := eng.Cluster().ExecuteRebalance(adv.Plan); err != nil {
+			b.Fatal(err)
+		}
+		before, after, moved = adv.RemoteBytesBefore, adv.RemoteBytesAfter, len(adv.Moves)
 	}
 	b.ReportMetric(float64(before)/1024, "remote-KiB-before")
 	b.ReportMetric(float64(after)/1024, "remote-KiB-after")

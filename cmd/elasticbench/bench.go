@@ -8,6 +8,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/advisor"
 	"repro/internal/array"
 	"repro/internal/benchfixture"
 	"repro/internal/cluster"
@@ -62,6 +63,11 @@ func record(name string, r testing.BenchmarkResult) benchResult {
 // and 8-node clusters, and concurrent batches against the sharded catalog.
 // PR 3 adds the query-layer probes: both benchmark suites end to end with
 // the scan executor pinned at 1, 4 and 8 workers (suite_parallel_{1,4,8}).
+// PR 4 adds the elasticity probes: a full scale-out (scaleout_chunks), a
+// whole-cluster migration through the batched per-receiver rebalance
+// pipeline vs. the per-chunk serial shape (migrate_batched_vs_serial /
+// migrate_serial_baseline), and the advisor's plan-only what-if probe
+// (advise_plan).
 func measureBench() (benchReport, error) {
 	c, chunks, err := benchfixture.ClusterAndChunks()
 	if err != nil {
@@ -82,7 +88,7 @@ func measureBench() (benchReport, error) {
 	}
 
 	report := benchReport{
-		Suite:     "ingest + query hot path (PR 3: parallel scan executor)",
+		Suite:     "ingest + query + elasticity hot path (PR 4: rebalance plans)",
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
@@ -212,11 +218,135 @@ func measureBench() (benchReport, error) {
 		}
 		_ = sum
 	})
+	if err := addRebalanceProbes(&report, add); err != nil {
+		return benchReport{}, err
+	}
 	if err := addSuiteProbes(&report, add); err != nil {
 		return benchReport{}, err
 	}
 
 	return report, nil
+}
+
+// nextNodeMoves plans a whole-cluster migration: every resident chunk to
+// the next node in ID order — one receiver batch per node, the widest
+// per-receiver fan-out the fixture allows.
+func nextNodeMoves(c *cluster.Cluster) []partition.Move {
+	nodes := c.Nodes()
+	var moves []partition.Move
+	for i, id := range nodes {
+		node, _ := c.Node(id)
+		to := nodes[(i+1)%len(nodes)]
+		for _, info := range node.ChunkInfos() {
+			moves = append(moves, partition.Move{Ref: info.Ref, From: id, To: to, Size: info.Size})
+		}
+	}
+	return moves
+}
+
+// addRebalanceProbes appends the elasticity probes: scale-out end to end,
+// the same whole-cluster migration through one batched plan vs. one plan
+// per chunk (the pre-plan serial codec shape), and the advisor's
+// plan-only what-if.
+func addRebalanceProbes(report *benchReport, add func(string, func(b *testing.B))) error {
+	chs := benchfixture.Chunks(benchfixture.NumChunks, benchfixture.CellsPerChunk)
+	freshLoaded := func(b *testing.B, nodes int) *cluster.Cluster {
+		b.Helper()
+		fresh, err := benchfixture.Cluster(nodes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := fresh.Insert(chs); err != nil {
+			b.Fatal(err)
+		}
+		return fresh
+	}
+	add("scaleout_chunks", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			fresh := freshLoaded(b, 2)
+			b.StartTimer()
+			if _, err := fresh.ScaleOut(2); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	add("migrate_batched_vs_serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			fresh := freshLoaded(b, 4)
+			moves := nextNodeMoves(fresh)
+			b.StartTimer()
+			plan, err := fresh.PlanMigrate(moves)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := fresh.ExecuteRebalance(plan); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	add("migrate_serial_baseline", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			fresh := freshLoaded(b, 4)
+			moves := nextNodeMoves(fresh)
+			b.StartTimer()
+			// One single-move plan per chunk: exactly one codec round-trip
+			// per chunk, the pre-batching migration shape.
+			for _, m := range moves {
+				plan, err := fresh.PlanMigrate([]partition.Move{m})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := fresh.ExecuteRebalance(plan); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	// The advisor probe runs against a hash-scattered MODIS placement —
+	// the advisor's target — and only plans: Advise is a what-if, so one
+	// fixture serves every iteration.
+	gen, err := workload.NewMODIS(workload.MODISConfig{Cycles: 3, BaseCells: 16})
+	if err != nil {
+		return err
+	}
+	_, total, err := workload.TotalBytes(gen)
+	if err != nil {
+		return err
+	}
+	eng, err := core.NewEngine(gen, core.Config{
+		PartitionerKind: "consistent",
+		InitialNodes:    6,
+		NodeCapacity:    total,
+	})
+	if err != nil {
+		return err
+	}
+	if _, err := eng.Run(); err != nil {
+		return err
+	}
+	var advErr error
+	add("advise_plan", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			adv, err := advisor.Advise(eng.Cluster(), []string{"Band1", "Band2"}, 1<<20, 1.4)
+			if err != nil {
+				advErr = err
+				return
+			}
+			if len(adv.Moves) == 0 {
+				advErr = fmt.Errorf("advisor found no moves on a scattered placement")
+				return
+			}
+			adv.Plan.Discard()
+		}
+	})
+	return advErr
 }
 
 // suiteCluster ingests a small workload through the core engine (k-d tree,

@@ -23,6 +23,19 @@
 // use — parallel batches interleave against the catalog shards without
 // double-placing a chunk.
 //
+// # Rebalancing
+//
+// The elasticity surface follows the same plan → execute contract:
+// Cluster.PlanScaleOut provisions nodes, revises the placement table and
+// returns a RebalancePlan whose per-receiver batches, predicted wire
+// bytes and Eq 7 duration are readable before committing;
+// Cluster.PlanMigrate validates an externally planned move set the same
+// way (the co-access advisor's Advise returns one, plus predicted
+// before/after remote traffic, without moving anything). ExecuteRebalance
+// ships each receiver's chunks as one batched codec round-trip, receivers
+// in parallel, atomically; Discard backs a plan out. ScaleOut and Migrate
+// remain as thin plan+execute wrappers.
+//
 // # Parallel queries
 //
 // The benchmark operators run their chunk scans on a worker-pool
@@ -77,6 +90,14 @@ type (
 	// IngestPlan is a validated batch placement, produced by
 	// Cluster.PlanInsert and run by Cluster.ExecutePlan.
 	IngestPlan = cluster.IngestPlan
+	// RebalancePlan is a validated, per-receiver-grouped set of chunk
+	// relocations, produced by Cluster.PlanScaleOut / Cluster.PlanMigrate
+	// and run by Cluster.ExecuteRebalance.
+	RebalancePlan = cluster.RebalancePlan
+	// ReceiverBatch is one receiving node's share of a rebalance plan.
+	ReceiverBatch = cluster.ReceiverBatch
+	// ScaleOutResult reports what a cluster expansion did.
+	ScaleOutResult = cluster.ScaleOutResult
 	// CostModel holds the simulated-time unit costs (δ, t, CPU).
 	CostModel = cluster.CostModel
 	// Duration is simulated elapsed time in seconds.

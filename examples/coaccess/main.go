@@ -48,12 +48,22 @@ func main() {
 	fmt.Printf("before: storage RSD %.0f%%, windowed aggregate %s (%d KiB halo over the network)\n",
 		c.RSD()*100, windowBefore.Elapsed, windowBefore.BytesShuffled/1024)
 
-	moves, migration, before, after, err := advisor.Advise(c, []string{"Band1", "Band2"}, 1<<20, 1.4)
+	// Advise plans without moving anything: the predicted wire volume,
+	// per-receiver batches and Eq 7 duration are all readable before a
+	// byte ships — commit with ExecuteRebalance, or Discard to back out.
+	adv, err := advisor.Advise(c, []string{"Band1", "Band2"}, 1<<20, 1.4)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("advisor: %d chunk migrations (%s), remote co-access %d KiB -> %d KiB (-%.0f%%)\n",
-		len(moves), migration, before/1024, after/1024, 100*(1-float64(after)/float64(before)))
+	fmt.Printf("advice: %d chunk migrations over %d receivers, %d KiB on the wire, predicted reorg %s\n",
+		adv.Plan.NumMoves(), len(adv.Plan.Receivers()), adv.Plan.WireBytes()/1024, adv.Plan.PredictedDuration())
+	migration, err := c.ExecuteRebalance(adv.Plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	before, after := adv.RemoteBytesBefore, adv.RemoteBytesAfter
+	fmt.Printf("executed: %s, remote co-access %d KiB -> %d KiB (-%.0f%%)\n",
+		migration, before/1024, after/1024, 100*(1-float64(after)/float64(before)))
 
 	windowAfter, err := query.WindowAggregate(c, "Band1", "radiance", last, 2)
 	if err != nil {

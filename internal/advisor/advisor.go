@@ -176,6 +176,26 @@ func (g *Graph) RemoteBytes() int64 {
 	return total
 }
 
+// RemoteBytesAfter predicts the remote co-access traffic once the given
+// moves have been applied — the what-if counterpart of RemoteBytes,
+// computed on the graph's placement snapshot without touching the cluster.
+func (g *Graph) RemoteBytesAfter(moves []partition.Move) int64 {
+	owner := make(map[array.ChunkKey]partition.NodeID, len(g.owner))
+	for k, n := range g.owner {
+		owner[k] = n
+	}
+	for _, m := range moves {
+		owner[m.Ref.Packed()] = m.To
+	}
+	var total int64
+	for _, e := range g.Edges {
+		if owner[e.A] != owner[e.B] {
+			total += e.Weight
+		}
+	}
+	return total
+}
+
 // Plan proposes up to maxMoves migrations that pull co-accessed chunks
 // onto shared nodes. Chunks sharing a grid position across arrays (the
 // structural-join twins) are treated as one atomic *unit* — a join never
@@ -361,23 +381,45 @@ func (g *Graph) Plan(c *cluster.Cluster, maxMoves int, slack float64) []partitio
 	return moves
 }
 
-// Advise builds the graph, plans up to maxMoves migrations and applies
-// them, returning the plan, the migration's simulated duration, and the
-// co-access traffic before and after.
-func Advise(c *cluster.Cluster, arrays []string, maxMoves int, slack float64) ([]partition.Move, cluster.Duration, int64, int64, error) {
+// Advice is the advisor's recommendation: an executable, inspectable
+// rebalance plan plus the predicted effect. Nothing has moved yet — the
+// caller reads the predictions (and the plan's per-receiver batches and
+// Eq 7 duration) and then either commits with cluster.ExecuteRebalance or
+// backs out with Plan.Discard.
+type Advice struct {
+	// Plan is the validated rebalance, grouped per receiving node.
+	Plan *cluster.RebalancePlan
+	// Moves lists the proposed relocations, highest locality gain first
+	// (the order Graph.Plan emitted them).
+	Moves []partition.Move
+	// RemoteBytesBefore is the co-access traffic the current placement
+	// pays per benchmark round.
+	RemoteBytesBefore int64
+	// RemoteBytesAfter is the predicted traffic once the plan executes.
+	// Because ExecuteRebalance applies exactly these moves, the
+	// prediction is exact unless the plan goes stale first.
+	RemoteBytesAfter int64
+}
+
+// Advise builds the co-access graph and plans up to maxMoves migrations,
+// returning the plan and the predicted before/after remote traffic
+// without applying anything. Execute the returned plan with
+// cluster.ExecuteRebalance, or Discard it to drop the recommendation —
+// Advise itself is a pure what-if probe.
+func Advise(c *cluster.Cluster, arrays []string, maxMoves int, slack float64) (*Advice, error) {
 	g, err := BuildGraph(c, arrays)
 	if err != nil {
-		return nil, 0, 0, 0, err
+		return nil, err
 	}
-	before := g.RemoteBytes()
 	moves := g.Plan(c, maxMoves, slack)
-	d, err := c.Migrate(moves)
+	plan, err := c.PlanMigrate(moves)
 	if err != nil {
-		return nil, 0, 0, 0, err
+		return nil, err
 	}
-	after, err := BuildGraph(c, arrays)
-	if err != nil {
-		return nil, 0, 0, 0, err
-	}
-	return moves, d, before, after.RemoteBytes(), nil
+	return &Advice{
+		Plan:              plan,
+		Moves:             moves,
+		RemoteBytesBefore: g.RemoteBytes(),
+		RemoteBytesAfter:  g.RemoteBytesAfter(moves),
+	}, nil
 }

@@ -90,22 +90,40 @@ func TestBuildGraphStructure(t *testing.T) {
 func TestAdviseReducesRemoteCoAccess(t *testing.T) {
 	c := buildScattered(t)
 	rsdBefore := c.RSD()
-	moves, d, before, after, err := Advise(c, []string{"Band1", "Band2"}, 1000, 1.4)
+	adv, err := Advise(c, []string{"Band1", "Band2"}, 1000, 1.4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(moves) == 0 {
+	if len(adv.Moves) == 0 {
 		t.Fatal("advisor should find beneficial moves on a scattered placement")
+	}
+	// Nothing has moved yet: Advise is a pure what-if probe.
+	if got, _ := c.Owner(adv.Moves[0].Ref.Packed()); got != adv.Moves[0].From {
+		t.Fatal("Advise must not apply its moves")
+	}
+	if adv.RemoteBytesAfter >= adv.RemoteBytesBefore {
+		t.Errorf("remote co-access should fall: before %d, after %d", adv.RemoteBytesBefore, adv.RemoteBytesAfter)
+	}
+	// The improvement should be substantial, not cosmetic.
+	if float64(adv.RemoteBytesAfter) > 0.5*float64(adv.RemoteBytesBefore) {
+		t.Errorf("advisor recovered only %.0f%% of locality",
+			100*(1-float64(adv.RemoteBytesAfter)/float64(adv.RemoteBytesBefore)))
+	}
+	d, err := c.ExecuteRebalance(adv.Plan)
+	if err != nil {
+		t.Fatal(err)
 	}
 	if d <= 0 {
 		t.Error("migration must take simulated time")
 	}
-	if after >= before {
-		t.Errorf("remote co-access should fall: before %d, after %d", before, after)
+	// The prediction is exact: the rebuilt graph pays exactly the traffic
+	// the advice promised.
+	after, err := BuildGraph(c, []string{"Band1", "Band2"})
+	if err != nil {
+		t.Fatal(err)
 	}
-	// The improvement should be substantial, not cosmetic.
-	if float64(after) > 0.5*float64(before) {
-		t.Errorf("advisor recovered only %.0f%% of locality", 100*(1-float64(after)/float64(before)))
+	if got := after.RemoteBytes(); got != adv.RemoteBytesAfter {
+		t.Errorf("predicted remote bytes %d, measured %d", adv.RemoteBytesAfter, got)
 	}
 	if err := c.Validate(); err != nil {
 		t.Fatal(err)
@@ -113,6 +131,25 @@ func TestAdviseReducesRemoteCoAccess(t *testing.T) {
 	// The balance guard keeps storage RSD bounded.
 	if c.RSD() > rsdBefore+0.5 {
 		t.Errorf("advisor destroyed balance: RSD %.2f -> %.2f", rsdBefore, c.RSD())
+	}
+}
+
+func TestAdviseDiscardIsSideEffectFree(t *testing.T) {
+	c := buildScattered(t)
+	adv, err := Advise(c, []string{"Band1", "Band2"}, 1000, 1.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv.Plan.Discard()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("discarded advice left state behind: %v", err)
+	}
+	g, err := BuildGraph(c, []string{"Band1", "Band2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.RemoteBytes(); got != adv.RemoteBytesBefore {
+		t.Errorf("placement changed by a discarded advice: %d -> %d", adv.RemoteBytesBefore, got)
 	}
 }
 
@@ -126,7 +163,11 @@ func TestAdviseImprovesSpatialQueries(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, _, _, err := Advise(c, []string{"Band1", "Band2"}, 1000, 1.5); err != nil {
+	adv, err := Advise(c, []string{"Band1", "Band2"}, 1000, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ExecuteRebalance(adv.Plan); err != nil {
 		t.Fatal(err)
 	}
 	windowAfter, err := query.WindowAggregate(c, "Band1", "radiance", 2, 2)
@@ -218,14 +259,15 @@ func TestPlanNoMovesWhenAlreadyLocal(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	moves, _, before, _, err := Advise(c, []string{"Band1", "Band2"}, 10, 1.5)
+	adv, err := Advise(c, []string{"Band1", "Band2"}, 10, 1.5)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if before != 0 {
-		t.Errorf("single node should have zero remote co-access, got %d", before)
+	defer adv.Plan.Discard()
+	if adv.RemoteBytesBefore != 0 {
+		t.Errorf("single node should have zero remote co-access, got %d", adv.RemoteBytesBefore)
 	}
-	if len(moves) != 0 {
-		t.Errorf("no moves expected, got %d", len(moves))
+	if len(adv.Moves) != 0 {
+		t.Errorf("no moves expected, got %d", len(adv.Moves))
 	}
 }

@@ -20,18 +20,40 @@ import (
 // The codec exists so migrations between nodes move real serialized bytes —
 // the quantity the elasticity cost model charges for — and so chunk stores
 // can round-trip payloads.
+//
+// Chunk-batch wire format (the per-receiver rebalance message):
+//
+//	u32 magic "ABAT"
+//	u16 version
+//	u32 nChunks
+//	per chunk: u16 len + array name bytes, then the chunk payload above
+//
+// Batching amortises the message framing and — because every chunk of the
+// batch encodes into one contiguous buffer — the allocation and copying a
+// per-chunk round-trip pays once per chunk.
 
 const (
 	chunkMagic   = 0x41434e4b // "ACNK"
 	chunkVersion = 1
+	batchMagic   = 0x41424154 // "ABAT"
+	batchVersion = 1
 )
 
 // EncodeChunk serialises a chunk payload (schema identity travels out of
 // band via the ChunkRef, which carries the array name).
 func EncodeChunk(c *Chunk) ([]byte, error) {
 	var b bytes.Buffer
+	if err := encodeChunkInto(&b, c); err != nil {
+		return nil, err
+	}
+	return b.Bytes(), nil
+}
+
+// encodeChunkInto appends one chunk payload to b — the shared body of the
+// single-chunk and batch encoders.
+func encodeChunkInto(b *bytes.Buffer, c *Chunk) error {
 	w := func(v interface{}) {
-		_ = binary.Write(&b, binary.LittleEndian, v)
+		_ = binary.Write(b, binary.LittleEndian, v)
 	}
 	w(uint32(chunkMagic))
 	w(uint16(chunkVersion))
@@ -60,22 +82,36 @@ func EncodeChunk(c *Chunk) ([]byte, error) {
 		case *StrColumn:
 			for _, v := range col.Vals {
 				if len(v) > 0xffff {
-					return nil, fmt.Errorf("array: string value too long (%d bytes)", len(v))
+					return fmt.Errorf("array: string value too long (%d bytes)", len(v))
 				}
 				w(uint16(len(v)))
 				b.WriteString(v)
 			}
 		default:
-			return nil, fmt.Errorf("array: cannot encode column type %T", col)
+			return fmt.Errorf("array: cannot encode column type %T", col)
 		}
 	}
-	return b.Bytes(), nil
+	return nil
 }
 
 // DecodeChunk reverses EncodeChunk. The schema must match the one the chunk
 // was encoded under (same dims and attribute types).
 func DecodeChunk(s *Schema, data []byte) (*Chunk, error) {
 	r := bytes.NewReader(data)
+	c, err := decodeChunkFrom(r, s)
+	if err != nil {
+		return nil, err
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("array: %d trailing bytes after chunk", r.Len())
+	}
+	return c, nil
+}
+
+// decodeChunkFrom reads one chunk payload off r — the shared body of the
+// single-chunk and batch decoders. It consumes exactly the chunk's bytes,
+// leaving r positioned at whatever follows.
+func decodeChunkFrom(r *bytes.Reader, s *Schema) (*Chunk, error) {
 	rd := func(v interface{}) error {
 		return binary.Read(r, binary.LittleEndian, v)
 	}
@@ -163,11 +199,85 @@ func DecodeChunk(s *Schema, data []byte) (*Chunk, error) {
 			}
 		}
 	}
-	if r.Len() != 0 {
-		return nil, fmt.Errorf("array: %d trailing bytes after chunk", r.Len())
-	}
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
 	return c, nil
+}
+
+// EncodeChunkBatch serialises several chunks — a rebalance receiver's whole
+// batch — into one wire message. Unlike EncodeChunk the array name travels
+// in band per chunk, because one migration batch may mix arrays; the
+// payloads land in one contiguous buffer, which is what makes the batched
+// round-trip cheaper than len(chunks) single-chunk trips.
+func EncodeChunkBatch(chunks []*Chunk) ([]byte, error) {
+	var b bytes.Buffer
+	w := func(v interface{}) {
+		_ = binary.Write(&b, binary.LittleEndian, v)
+	}
+	w(uint32(batchMagic))
+	w(uint16(batchVersion))
+	w(uint32(len(chunks)))
+	for _, c := range chunks {
+		name := c.Schema.Name
+		if len(name) > 0xffff {
+			return nil, fmt.Errorf("array: array name too long (%d bytes)", len(name))
+		}
+		w(uint16(len(name)))
+		b.WriteString(name)
+		if err := encodeChunkInto(&b, c); err != nil {
+			return nil, err
+		}
+	}
+	return b.Bytes(), nil
+}
+
+// DecodeChunkBatch reverses EncodeChunkBatch, resolving each chunk's schema
+// through lookup (typically a cluster's schema registry). Chunks come back
+// in encoding order.
+func DecodeChunkBatch(lookup func(name string) (*Schema, bool), data []byte) ([]*Chunk, error) {
+	r := bytes.NewReader(data)
+	rd := func(v interface{}) error {
+		return binary.Read(r, binary.LittleEndian, v)
+	}
+	var magic uint32
+	var version uint16
+	var n uint32
+	if err := rd(&magic); err != nil || magic != batchMagic {
+		return nil, fmt.Errorf("array: bad chunk-batch magic")
+	}
+	if err := rd(&version); err != nil || version != batchVersion {
+		return nil, fmt.Errorf("array: unsupported chunk-batch version %d", version)
+	}
+	if err := rd(&n); err != nil {
+		return nil, err
+	}
+	out := make([]*Chunk, 0, n)
+	nameBuf := make([]byte, 0, 64)
+	for i := uint32(0); i < n; i++ {
+		var nameLen uint16
+		if err := rd(&nameLen); err != nil {
+			return nil, err
+		}
+		if cap(nameBuf) < int(nameLen) {
+			nameBuf = make([]byte, nameLen)
+		}
+		nameBuf = nameBuf[:nameLen]
+		if _, err := io.ReadFull(r, nameBuf); err != nil {
+			return nil, err
+		}
+		s, ok := lookup(string(nameBuf))
+		if !ok {
+			return nil, fmt.Errorf("array: batch chunk %d of unknown array %q", i, nameBuf)
+		}
+		c, err := decodeChunkFrom(r, s)
+		if err != nil {
+			return nil, fmt.Errorf("array: batch chunk %d of %s: %w", i, s.Name, err)
+		}
+		out = append(out, c)
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("array: %d trailing bytes after chunk batch", r.Len())
+	}
+	return out, nil
 }

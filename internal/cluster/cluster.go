@@ -27,9 +27,10 @@ type PartitionerFactory func(initial []partition.NodeID) (partition.Partitioner,
 // in parallel, with the plan phase serialised over the partitioner table
 // and the execution phase writing per-destination-node in parallel against
 // the sharded catalog and the locked node stores. Administration
-// (DefineArray, ReplicateArray, ScaleOut, Migrate, Validate) is exclusive
-// among itself and against ingest: it waits for in-flight ingest calls to
-// drain and blocks new ones while it runs.
+// (DefineArray, ReplicateArray, the rebalance pipeline PlanScaleOut /
+// PlanMigrate / ExecuteRebalance and its ScaleOut / Migrate wrappers,
+// Validate) is exclusive among itself and against ingest: it waits for
+// in-flight ingest calls to drain and blocks new ones while it runs.
 //
 // The concurrency contract covers exactly that: ingest vs. ingest, ingest
 // vs. administration, plus the lock-free readers Owner, NumChunks and
@@ -37,7 +38,7 @@ type PartitionerFactory func(initial []partition.NodeID) (partition.Partitioner,
 // TotalBytes, …) are snapshots for drivers and tests; callers must not
 // race them against administration calls that mutate topology.
 type Cluster struct {
-	cost    CostModel
+	cost   CostModel
 	part   partition.Partitioner
 	nodes  map[partition.NodeID]*Node
 	order  []partition.NodeID // ascending
@@ -76,15 +77,20 @@ type Cluster struct {
 	parallelism atomic.Int32
 	// inserted preserves the global count of ingested chunks for audit.
 	inserted atomic.Int64
-	// epoch counts topology/table revisions (ScaleOut, Migrate). Ingest
-	// plans are pinned to the epoch they were computed under and go
-	// stale when it moves. Written under admin exclusive, read under
-	// admin shared.
+	// epoch counts topology/table revisions (PlanScaleOut commits one,
+	// ExecuteRebalance commits one per plan that moves chunks). Ingest
+	// and rebalance plans are pinned to the epoch they were computed
+	// under and go stale when it moves. Written under admin exclusive,
+	// read under admin shared.
 	epoch uint64
 	// pendingPlans counts planned-but-not-yet-executed batches, whose
 	// chunks are catalogued but not stored; Validate refuses to audit
 	// while any are outstanding.
 	pendingPlans atomic.Int64
+	// pendingRebalances counts planned-but-not-yet-executed rebalances
+	// (RebalancePlan); Validate names them too, so a leaked plan fails
+	// loudly instead of surfacing as phantom catalog drift.
+	pendingRebalances atomic.Int64
 }
 
 // newStore builds the chunk store for a node per the cluster's storage
@@ -327,167 +333,50 @@ type ScaleOutResult struct {
 }
 
 // ScaleOut provisions k new nodes, lets the partitioner revise its table,
-// and executes the returned migration plan. Chunk payloads are serialized,
-// shipped and decoded for real — the codec round-trip stands in for the
-// wire — and the reorganization charge is the total shipped bytes at
-// network rate t, the same quantity the paper's Eq 7 models. Replicated
-// arrays are copied to the new nodes as part of the expansion.
+// and executes the resulting migration — a thin wrapper over the
+// plan → execute pipeline (PlanScaleOut / ExecuteRebalance) run as one
+// administrative operation. Chunk payloads are serialized, shipped and
+// decoded for real — one batched codec round-trip per receiving node
+// stands in for the wire — and the reorganization charge is the paper's
+// Eq 7 quantity. Replicated arrays are copied to the new nodes as part of
+// the expansion.
 func (c *Cluster) ScaleOut(k int) (ScaleOutResult, error) {
 	if k < 1 {
 		return ScaleOutResult{}, fmt.Errorf("cluster: ScaleOut(%d): need k >= 1", k)
 	}
 	c.admin.Lock()
 	defer c.admin.Unlock()
-	var added []partition.NodeID
-	rollbackNodes := func() {
-		for _, id := range added {
-			delete(c.nodes, id)
-		}
-		c.nextID -= partition.NodeID(len(added))
-	}
-	for i := 0; i < k; i++ {
-		id := c.nextID
-		store, err := c.newStore(id)
-		if err != nil {
-			// Roll back the nodes added so far; the cluster is
-			// unchanged.
-			rollbackNodes()
-			return ScaleOutResult{}, err
-		}
-		c.nextID++
-		c.nodes[id] = newNode(id, c.nodeCapacity, store)
-		added = append(added, id)
-	}
-	moves, err := c.part.AddNodes(added, c)
+	plan, err := c.planScaleOut(k)
 	if err != nil {
-		// Roll back the node additions; the cluster is unchanged.
-		rollbackNodes()
-		return ScaleOutResult{}, fmt.Errorf("cluster: partitioner rejected scale-out: %w", err)
+		return ScaleOutResult{}, err
 	}
-	c.order = append(c.order, added...)
-	// The topology (and the partitioning table) changed: any outstanding
-	// ingest plan is now stale, so advance the epoch to make ExecutePlan
-	// reject it. Deliberately after the fallible section — a rejected
-	// scale-out leaves plans valid.
-	c.epoch++
-	res := ScaleOutResult{Added: added}
-	recv := make(map[partition.NodeID]int64)
-	for _, m := range moves {
-		if err := c.executeMove(m); err != nil {
-			return res, err
-		}
-		res.Moves++
-		res.MovedBytes += m.Size
-		recv[m.To] += m.Size
+	res := ScaleOutResult{Added: plan.Added()}
+	reorg, err := c.executeRebalance(plan)
+	if err != nil {
+		// Execution rolled the data movement back; the provisioned nodes
+		// and revised table stand (monotonic growth).
+		return res, err
 	}
-	// Replicated arrays must exist on the new nodes too.
-	var repBytes int64
-	if len(c.order) > 0 {
-		src := c.nodes[c.order[0]]
-		for _, rep := range src.Replicas() {
-			for _, id := range added {
-				c.nodes[id].putReplica(rep)
-				recv[id] += rep.SizeBytes()
-			}
-			repBytes += rep.SizeBytes() * int64(len(added))
-		}
-	}
-	// Receivers pull in parallel up to the fabric width: the wall-clock
-	// transfer is the larger of the busiest receiver's volume and the
-	// fabric-capped aggregate.
-	var maxRecv int64
-	for _, b := range recv {
-		if b > maxRecv {
-			maxRecv = b
-		}
-	}
-	wire := (res.MovedBytes + repBytes) / int64(c.cost.FabricWidth)
-	if maxRecv > wire {
-		wire = maxRecv
-	}
-	res.Reorg = c.cost.NetTime(wire) + Duration(c.cost.ReorgFixedSec)
+	res.Moves = plan.NumMoves()
+	res.MovedBytes = plan.Bytes()
+	res.Reorg = reorg
 	return res, nil
 }
 
 // Migrate executes an externally planned set of chunk relocations — the
 // entry point for online placement optimisers such as the co-access
-// advisor (the paper's §8 future work). Unlike ScaleOut it adds no nodes;
-// the charge is the receiver-parallel transfer of the moved bytes.
+// advisor (the paper's §8 future work). It is a thin wrapper over
+// PlanMigrate / ExecuteRebalance run as one administrative operation.
+// Unlike ScaleOut it adds no nodes; the charge is the receiver-parallel
+// transfer of the moved bytes.
 func (c *Cluster) Migrate(moves []partition.Move) (Duration, error) {
 	c.admin.Lock()
 	defer c.admin.Unlock()
-	if len(moves) > 0 {
-		// Placement moves under any outstanding ingest plan: stale it.
-		// (Kept ahead of execution on purpose — a mid-plan failure has
-		// already relocated earlier chunks.)
-		c.epoch++
-	}
-	recv := make(map[partition.NodeID]int64)
-	var total int64
-	for _, m := range moves {
-		if err := c.executeMove(m); err != nil {
-			return 0, err
-		}
-		total += m.Size
-		recv[m.To] += m.Size
-	}
-	if total == 0 {
-		return 0, nil
-	}
-	var maxRecv int64
-	for _, b := range recv {
-		if b > maxRecv {
-			maxRecv = b
-		}
-	}
-	wire := total / int64(c.cost.FabricWidth)
-	if maxRecv > wire {
-		wire = maxRecv
-	}
-	return c.cost.NetTime(wire), nil
-}
-
-// executeMove ships one chunk: encode at the source, decode at the
-// destination, update the catalog. The round-trip through the codec keeps
-// the simulation honest about what actually crosses the wire.
-func (c *Cluster) executeMove(m partition.Move) error {
-	key := m.Ref.Packed()
-	cur, ok := c.owner.Get(key)
-	if !ok {
-		return fmt.Errorf("cluster: plan moves unknown chunk %s", m.Ref)
-	}
-	if cur != m.From {
-		return fmt.Errorf("cluster: plan says %s on node %d, catalog says %d", m.Ref, m.From, cur)
-	}
-	src, ok := c.nodes[m.From]
-	if !ok {
-		return fmt.Errorf("cluster: plan source node %d unknown", m.From)
-	}
-	dst, ok := c.nodes[m.To]
-	if !ok {
-		return fmt.Errorf("cluster: plan target node %d unknown", m.To)
-	}
-	ch, err := src.take(m.Ref)
+	plan, err := c.buildRebalancePlan(moves, nil)
 	if err != nil {
-		return err
+		return 0, err
 	}
-	wire, err := array.EncodeChunk(ch)
-	if err != nil {
-		return err
-	}
-	schema, ok := c.schemas[m.Ref.Array]
-	if !ok {
-		return fmt.Errorf("cluster: chunk %s of undefined array", m.Ref)
-	}
-	decoded, err := array.DecodeChunk(schema, wire)
-	if err != nil {
-		return fmt.Errorf("cluster: chunk %s corrupted in transit: %w", m.Ref, err)
-	}
-	if err := dst.put(decoded); err != nil {
-		return err
-	}
-	c.owner.Set(key, m.To)
-	return nil
+	return c.executeRebalance(plan)
 }
 
 // Validate audits cluster invariants: the catalog and the node stores agree
@@ -496,8 +385,8 @@ func (c *Cluster) executeMove(m partition.Move) error {
 func (c *Cluster) Validate() error {
 	c.admin.Lock()
 	defer c.admin.Unlock()
-	if n := c.pendingPlans.Load(); n != 0 {
-		return fmt.Errorf("cluster: %d ingest plan(s) outstanding (execute or discard them before validating)", n)
+	if ni, nr := c.pendingPlans.Load(), c.pendingRebalances.Load(); ni != 0 || nr != 0 {
+		return fmt.Errorf("cluster: %d ingest plan(s) and %d rebalance plan(s) outstanding (execute or discard them before validating)", ni, nr)
 	}
 	seen := 0
 	for _, id := range c.order {

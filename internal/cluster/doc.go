@@ -21,10 +21,32 @@
 // the partitioner's table, execution interleaves against the sharded
 // catalog and the locked stores.
 //
-// Plans are epoch-stamped: ScaleOut and Migrate advance the cluster's
+// Plans are epoch-stamped: a rebalance committing advances the cluster's
 // topology epoch, so a plan computed before the change is stale and
 // ExecutePlan rejects it (releasing its reservations) rather than writing
 // to destinations the revised table no longer sanctions.
+//
+// # Rebalance: plan → execute
+//
+// The elasticity surface follows the same contract. PlanScaleOut
+// provisions k nodes, lets the partitioner revise its table (both commit
+// at planning time — the epoch advances here) and returns a
+// RebalancePlan; PlanMigrate validates an externally planned move set
+// (the co-access advisor's, say) without changing anything. Planning does
+// all the fallible work up front: every move is checked against the
+// catalog, the source stores (a reserved-but-unstored ingest chunk
+// cannot be moved) and the schema registry, then grouped per receiving
+// node with the predicted wire volume and Eq 7 duration readable off the
+// plan. ExecuteRebalance ships each receiver's chunks as one batched
+// codec round-trip (array.EncodeChunkBatch / DecodeChunkBatch), fanning
+// receivers out in parallel for wide plans, and is atomic: any store
+// error rolls every chunk back to its source and restores the catalog. A
+// plan executes at most once or is released with Discard; like ingest
+// plans, rebalance plans are epoch-stamped, so executing one stales
+// outstanding ingest plans and any concurrently planned rebalance.
+// Validate names outstanding plans of both kinds. ScaleOut and Migrate
+// remain as thin plan+execute wrappers run under one administrative
+// critical section.
 //
 // # The sharded catalog
 //

@@ -25,9 +25,11 @@ import (
 // outstanding, since their chunks are catalogued but not yet stored.
 //
 // A plan is pinned to the cluster topology it was computed against: a
-// ScaleOut or Migrate between planning and execution invalidates it
-// (ExecutePlan releases its reservations and reports the staleness; plan
-// the batch again against the new table).
+// rebalance committing between planning and execution — PlanScaleOut
+// revising the table, or ExecuteRebalance (and the ScaleOut/Migrate
+// wrappers) moving chunks — invalidates it (ExecutePlan releases its
+// reservations and reports the staleness; plan the batch again against
+// the new table).
 //
 // Note that a stateful scheme's table advances at planning time — Append's
 // fill accounting counts a planned batch even if the plan is later

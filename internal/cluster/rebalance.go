@@ -1,0 +1,471 @@
+package cluster
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/array"
+	"repro/internal/partition"
+)
+
+// RebalancePlan is a validated set of chunk relocations, ready to execute:
+// every move checked against the catalog and the stores up front, grouped
+// by receiving node, with the transfer's wire volume and Eq 7 duration
+// predicted before anything ships.
+//
+// Plans are produced by PlanScaleOut (which also provisions the new nodes
+// and revises the partitioner's table) and PlanMigrate (externally planned
+// relocations, e.g. the co-access advisor's). A plan must then be either
+// executed exactly once (ExecuteRebalance) or released with Discard;
+// Validate refuses to audit while rebalance plans are outstanding, naming
+// them so a leaked plan fails loudly instead of surfacing as drift.
+//
+// A plan is pinned to the topology epoch it was computed under: any other
+// rebalance executing (or scale-out planning) in between advances the
+// epoch and makes this plan stale — ExecuteRebalance rejects it and
+// releases it. The same epoch machinery invalidates outstanding ingest
+// plans when a rebalance commits, and a rebalance plan can never move a
+// reserved-but-unstored ingest chunk: planning verifies every source
+// actually holds its chunk.
+//
+// Note that PlanScaleOut commits the topology at planning time — the new
+// nodes join and the partitioner's table advances even if the plan is
+// later discarded (the Partitioner contract has no un-AddNodes). Discard
+// backs out only the data movement: the cluster stays consistent, merely
+// unbalanced until the next rebalance. Like IngestPlan.Discard, it is an
+// error-recovery hatch, not a free what-if probe; Advise-style what-ifs
+// belong on PlanMigrate plans, whose Discard is side-effect-free.
+type RebalancePlan struct {
+	c      *Cluster
+	moves  []partition.Move
+	groups []receiverGroup    // per receiving node, ascending node ID
+	added  []partition.NodeID // nodes provisioned by PlanScaleOut
+	epoch  uint64             // topology epoch the plan was computed under
+
+	totalBytes int64
+	repBytes   int64 // replica payload copied to added nodes (scale-out)
+	maxRecv    int64 // busiest receiver's volume, replicas included
+
+	// state: 0 = planned, 1 = executed, 2 = discarded (IngestPlan's codes).
+	state atomic.Int32
+}
+
+// receiverGroup is one receiving node's share of the plan: the indexes
+// into moves it receives, shipped as a single batched codec round-trip.
+type receiverGroup struct {
+	node  partition.NodeID
+	idx   []int
+	bytes int64
+}
+
+// ReceiverBatch describes one receiving node's share of a rebalance plan —
+// the batch that crosses the wire to it in one codec round-trip.
+type ReceiverBatch struct {
+	Node   partition.NodeID
+	Chunks int
+	Bytes  int64
+}
+
+// NumMoves returns the number of chunk relocations the plan performs.
+func (p *RebalancePlan) NumMoves() int { return len(p.moves) }
+
+// Bytes returns the total chunk payload the plan ships.
+func (p *RebalancePlan) Bytes() int64 { return p.totalBytes }
+
+// Moves returns the plan's relocations, for inspection and tests.
+func (p *RebalancePlan) Moves() []partition.Move {
+	return append([]partition.Move(nil), p.moves...)
+}
+
+// Added returns the nodes PlanScaleOut provisioned (empty for PlanMigrate
+// plans).
+func (p *RebalancePlan) Added() []partition.NodeID {
+	return append([]partition.NodeID(nil), p.added...)
+}
+
+// Receivers returns the per-receiver batches in ascending node order: how
+// many chunks and bytes each receiving node gets in its one round-trip.
+func (p *RebalancePlan) Receivers() []ReceiverBatch {
+	out := make([]ReceiverBatch, len(p.groups))
+	for i, g := range p.groups {
+		out[i] = ReceiverBatch{Node: g.node, Chunks: len(g.idx), Bytes: g.bytes}
+	}
+	return out
+}
+
+// WireBytes returns the predicted effective wire volume of Eq 7: the
+// larger of the fabric-capped aggregate (moved payload plus replica copies
+// to new nodes) and the busiest single receiver's volume — the quantity
+// CostModel.NetTime is charged on.
+func (p *RebalancePlan) WireBytes() int64 {
+	return p.c.rebalanceWire(p.totalBytes, p.repBytes, p.maxRecv)
+}
+
+// PredictedDuration returns the CostModel.NetTime estimate of the
+// reorganization, readable before committing: the receiver-parallel
+// transfer of WireBytes, plus the fixed reorganization overhead for
+// scale-out plans. ExecuteRebalance charges exactly this unless the
+// replica set changed between planning and execution.
+func (p *RebalancePlan) PredictedDuration() Duration {
+	return p.c.rebalanceCharge(p.totalBytes, p.repBytes, p.maxRecv, len(p.added) > 0)
+}
+
+// rebalanceWire is the Eq 7 effective wire volume: the larger of the
+// fabric-capped aggregate and the busiest single receiver.
+func (c *Cluster) rebalanceWire(moved, replicas, maxRecv int64) int64 {
+	wire := (moved + replicas) / int64(c.cost.FabricWidth)
+	if maxRecv > wire {
+		wire = maxRecv
+	}
+	return wire
+}
+
+// rebalanceCharge folds the Eq 7 quantities into simulated time — the one
+// formula both PredictedDuration and ExecuteRebalance charge through, so
+// prediction and charge cannot drift.
+func (c *Cluster) rebalanceCharge(moved, replicas, maxRecv int64, scaleOut bool) Duration {
+	if !scaleOut && moved == 0 {
+		return 0
+	}
+	d := c.cost.NetTime(c.rebalanceWire(moved, replicas, maxRecv))
+	if scaleOut {
+		d += Duration(c.cost.ReorgFixedSec)
+	}
+	return d
+}
+
+// Discard releases an unexecuted plan. Discarding an executed (or already
+// discarded) plan is a no-op. For scale-out plans the provisioned nodes
+// and the revised partitioner table remain — only the data movement is
+// abandoned.
+func (p *RebalancePlan) Discard() {
+	if p == nil || !p.state.CompareAndSwap(planStatePlanned, planStateDiscarded) {
+		return
+	}
+	p.c.pendingRebalances.Add(-1)
+}
+
+// PlanScaleOut provisions k new nodes, lets the partitioner revise its
+// table, and returns the validated migration as a RebalancePlan — the
+// predicted wire bytes, per-receiver batch sizes and Eq 7 duration are
+// readable before a byte moves. The topology change commits here: the
+// epoch advances (outstanding ingest plans go stale) and the new nodes
+// are live, so execute or discard the plan promptly.
+func (c *Cluster) PlanScaleOut(k int) (*RebalancePlan, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("cluster: ScaleOut(%d): need k >= 1", k)
+	}
+	c.admin.Lock()
+	defer c.admin.Unlock()
+	return c.planScaleOut(k)
+}
+
+// planScaleOut is the scale-out plan phase. Caller holds admin exclusive.
+func (c *Cluster) planScaleOut(k int) (*RebalancePlan, error) {
+	var added []partition.NodeID
+	rollbackNodes := func() {
+		for _, id := range added {
+			delete(c.nodes, id)
+		}
+		c.nextID -= partition.NodeID(len(added))
+	}
+	for i := 0; i < k; i++ {
+		id := c.nextID
+		store, err := c.newStore(id)
+		if err != nil {
+			// Roll back the nodes added so far; the cluster is
+			// unchanged.
+			rollbackNodes()
+			return nil, err
+		}
+		c.nextID++
+		c.nodes[id] = newNode(id, c.nodeCapacity, store)
+		added = append(added, id)
+	}
+	moves, err := c.part.AddNodes(added, c)
+	if err != nil {
+		// Roll back the node additions; the cluster is unchanged.
+		rollbackNodes()
+		return nil, fmt.Errorf("cluster: partitioner rejected scale-out: %w", err)
+	}
+	c.order = append(c.order, added...)
+	// The topology (and the partitioning table) changed: any outstanding
+	// ingest or rebalance plan is now stale, so advance the epoch.
+	// Deliberately after the fallible section — a rejected scale-out
+	// leaves plans valid.
+	c.epoch++
+	plan, err := c.buildRebalancePlan(moves, added)
+	if err != nil {
+		// The partitioner's moves come from the catalog via State, so
+		// this is defensive: the topology change stands, the migration
+		// is abandoned.
+		return nil, err
+	}
+	return plan, nil
+}
+
+// PlanMigrate validates an externally planned set of chunk relocations —
+// the entry point for online placement optimisers such as the co-access
+// advisor — and returns it as a RebalancePlan grouped per receiver.
+// Unlike PlanScaleOut nothing changes at planning time; discarding the
+// plan is side-effect-free.
+func (c *Cluster) PlanMigrate(moves []partition.Move) (*RebalancePlan, error) {
+	c.admin.Lock()
+	defer c.admin.Unlock()
+	return c.buildRebalancePlan(moves, nil)
+}
+
+// buildRebalancePlan validates moves against the catalog, the stores and
+// the schema registry, and groups them per receiving node. Caller holds
+// admin exclusive.
+func (c *Cluster) buildRebalancePlan(moves []partition.Move, added []partition.NodeID) (*RebalancePlan, error) {
+	plan := &RebalancePlan{
+		c:     c,
+		moves: append([]partition.Move(nil), moves...),
+		added: added,
+		epoch: c.epoch,
+	}
+	byNode := make(map[partition.NodeID]int)
+	seen := make(map[array.ChunkKey]bool, len(moves))
+	for i, m := range plan.moves {
+		key := m.Ref.Packed()
+		cur, ok := c.owner.Get(key)
+		if !ok {
+			return nil, fmt.Errorf("cluster: plan moves unknown chunk %s", m.Ref)
+		}
+		if cur != m.From {
+			return nil, fmt.Errorf("cluster: plan says %s on node %d, catalog says %d", m.Ref, m.From, cur)
+		}
+		if seen[key] {
+			return nil, fmt.Errorf("cluster: chunk %s moved twice in one plan", m.Ref)
+		}
+		seen[key] = true
+		src, ok := c.nodes[m.From]
+		if !ok {
+			return nil, fmt.Errorf("cluster: plan source node %d unknown", m.From)
+		}
+		if _, ok := c.nodes[m.To]; !ok {
+			return nil, fmt.Errorf("cluster: plan target node %d unknown", m.To)
+		}
+		if _, ok := c.schemas[m.Ref.Array]; !ok {
+			return nil, fmt.Errorf("cluster: chunk %s of undefined array", m.Ref)
+		}
+		// A catalogued chunk whose source store does not hold it is a
+		// reserved-but-unstored ingest reservation: moving it would ship
+		// a payload that does not exist yet.
+		if _, held := src.get(m.Ref); !held {
+			return nil, fmt.Errorf("cluster: plan moves chunk %s reserved by an outstanding ingest plan", m.Ref)
+		}
+		gi, ok := byNode[m.To]
+		if !ok {
+			gi = len(plan.groups)
+			byNode[m.To] = gi
+			plan.groups = append(plan.groups, receiverGroup{node: m.To})
+		}
+		g := &plan.groups[gi]
+		g.idx = append(g.idx, i)
+		g.bytes += m.Size
+		plan.totalBytes += m.Size
+	}
+	sort.Slice(plan.groups, func(i, j int) bool { return plan.groups[i].node < plan.groups[j].node })
+	// Predicted receiver volumes, keyed by node (the byNode group indexes
+	// are stale after the sort): the moved batches, plus — for scale-out
+	// plans — the replicated arrays each new node pulls.
+	recv := make(map[partition.NodeID]int64, len(plan.groups))
+	for _, g := range plan.groups {
+		recv[g.node] = g.bytes
+	}
+	if len(added) > 0 && len(c.order) > 0 {
+		var perNode int64
+		for _, rep := range c.nodes[c.order[0]].Replicas() {
+			perNode += rep.SizeBytes()
+		}
+		plan.repBytes = perNode * int64(len(added))
+		for _, id := range added {
+			recv[id] += perNode
+		}
+	}
+	for _, b := range recv {
+		if b > plan.maxRecv {
+			plan.maxRecv = b
+		}
+	}
+	c.pendingRebalances.Add(1)
+	return plan, nil
+}
+
+// ExecuteRebalance performs a plan's transfers — each receiver's chunks
+// encoded, shipped and decoded as one batched codec round-trip, receivers
+// in parallel for plans wide enough to pay for the fan-out — and returns
+// the simulated reorganization duration. A plan executes at most once,
+// and execution is atomic: on any store error every chunk is returned to
+// its source and the catalog is restored.
+func (c *Cluster) ExecuteRebalance(plan *RebalancePlan) (Duration, error) {
+	c.admin.Lock()
+	defer c.admin.Unlock()
+	return c.executeRebalance(plan)
+}
+
+// executeRebalance is the execution phase. Caller holds admin exclusive.
+func (c *Cluster) executeRebalance(plan *RebalancePlan) (Duration, error) {
+	if plan == nil {
+		return 0, fmt.Errorf("cluster: nil rebalance plan")
+	}
+	if plan.c != c {
+		return 0, fmt.Errorf("cluster: rebalance plan belongs to another cluster")
+	}
+	if plan.epoch != c.epoch {
+		// Another rebalance committed since planning; the validated
+		// placement snapshot is stale. Release the plan so the caller can
+		// replan against the current catalog.
+		plan.Discard()
+		return 0, fmt.Errorf("cluster: rebalance plan is stale (topology changed since planning); plan again")
+	}
+	if !plan.state.CompareAndSwap(planStatePlanned, planStateExecuted) {
+		return 0, fmt.Errorf("cluster: rebalance plan already executed or discarded")
+	}
+	if len(plan.moves) > 0 {
+		// Placement moves under any outstanding ingest plan: stale it.
+		// (Ahead of execution on purpose — conservative on failure.)
+		c.epoch++
+	}
+	if err := c.shipReceiverBatches(plan); err != nil {
+		c.pendingRebalances.Add(-1)
+		return 0, err
+	}
+	// Replicated arrays must exist on nodes provisioned by the plan.
+	recvExtra := make(map[partition.NodeID]int64)
+	var repBytes int64
+	if len(plan.added) > 0 && len(c.order) > 0 {
+		src := c.nodes[c.order[0]]
+		for _, rep := range src.Replicas() {
+			for _, id := range plan.added {
+				c.nodes[id].putReplica(rep)
+				recvExtra[id] += rep.SizeBytes()
+			}
+			repBytes += rep.SizeBytes() * int64(len(plan.added))
+		}
+	}
+	c.pendingRebalances.Add(-1)
+	// Receivers pull in parallel up to the fabric width (Eq 7). The
+	// replica volumes are recomputed from what was actually copied, so
+	// the charge stays honest even if the replica set changed since
+	// planning; with an unchanged set this equals PredictedDuration by
+	// construction (shared formula).
+	recv := make(map[partition.NodeID]int64, len(plan.groups)+len(recvExtra))
+	for _, g := range plan.groups {
+		recv[g.node] = g.bytes
+	}
+	for id, extra := range recvExtra {
+		recv[id] += extra
+	}
+	var maxRecv int64
+	for _, b := range recv {
+		if b > maxRecv {
+			maxRecv = b
+		}
+	}
+	return c.rebalanceCharge(plan.totalBytes, repBytes, maxRecv, len(plan.added) > 0), nil
+}
+
+// parallelRebalanceThreshold is the plan width (in moves) below which
+// per-receiver fan-out goroutines cost more than they save.
+const parallelRebalanceThreshold = 8
+
+// shipReceiverBatches moves every group's chunks: take from the sources,
+// one batched encode, one batched decode at the receiver, put and
+// recatalog. Groups ship in parallel when the plan is wide enough. On any
+// error the whole plan rolls back — every taken or delivered chunk returns
+// to its source and the catalog is restored — so a failed rebalance leaves
+// the cluster exactly as it was.
+func (c *Cluster) shipReceiverBatches(plan *RebalancePlan) error {
+	type progress struct {
+		taken []*array.Chunk // originals taken from sources, prefix of group.idx
+		put   int            // decoded chunks delivered to the receiver
+		err   error
+	}
+	progs := make([]progress, len(plan.groups))
+	ship := func(gi int) {
+		g := plan.groups[gi]
+		p := &progs[gi]
+		dst := c.nodes[g.node]
+		for _, i := range g.idx {
+			m := plan.moves[i]
+			ch, err := c.nodes[m.From].take(m.Ref)
+			if err != nil {
+				p.err = err
+				return
+			}
+			p.taken = append(p.taken, ch)
+		}
+		// The batched codec round-trip stands in for the wire, exactly as
+		// the per-chunk trip did: real serialized bytes, one message per
+		// receiver.
+		wire, err := array.EncodeChunkBatch(p.taken)
+		if err != nil {
+			p.err = err
+			return
+		}
+		decoded, err := array.DecodeChunkBatch(func(name string) (*array.Schema, bool) {
+			s, ok := c.schemas[name]
+			return s, ok
+		}, wire)
+		if err != nil {
+			p.err = fmt.Errorf("cluster: batch for node %d corrupted in transit: %w", g.node, err)
+			return
+		}
+		for k, ch := range decoded {
+			if err := dst.put(ch); err != nil {
+				p.err = err
+				return
+			}
+			p.put = k + 1
+			c.owner.Set(plan.moves[g.idx[k]].Ref.Packed(), g.node)
+		}
+	}
+	if len(plan.groups) <= 1 || len(plan.moves) < parallelRebalanceThreshold || runtime.GOMAXPROCS(0) == 1 {
+		for gi := range plan.groups {
+			ship(gi)
+			if progs[gi].err != nil {
+				break
+			}
+		}
+	} else {
+		// Groups are disjoint by construction (a chunk moves at most once
+		// per plan), so receivers only share the locked stores and the
+		// sharded catalog.
+		var wg sync.WaitGroup
+		for gi := range plan.groups {
+			wg.Add(1)
+			go func(gi int) {
+				defer wg.Done()
+				ship(gi)
+			}(gi)
+		}
+		wg.Wait()
+	}
+	for gi := range progs {
+		if progs[gi].err == nil {
+			continue
+		}
+		// Roll the whole plan back: remove delivered copies, restore the
+		// catalog, return the originals to their sources.
+		for gj := range plan.groups {
+			g, p := plan.groups[gj], &progs[gj]
+			for k := 0; k < p.put; k++ {
+				m := plan.moves[g.idx[k]]
+				_, _ = c.nodes[g.node].take(m.Ref)
+				c.owner.Set(m.Ref.Packed(), m.From)
+			}
+			for k, ch := range p.taken {
+				m := plan.moves[g.idx[k]]
+				_ = c.nodes[m.From].put(ch)
+			}
+		}
+		return progs[gi].err
+	}
+	return nil
+}

@@ -141,10 +141,13 @@ func (e *Engine) Cycle() int { return e.cycle }
 // RunCycle executes the next workload cycle: generate the insert batch,
 // decide the scale-out (before inserting, as in Section 3.4: the database
 // first determines whether it is under-provisioned for the incoming
-// insert), reorganize, ingest, then run the benchmark suite. Ingest runs
-// through the two-phase pipeline explicitly — the batch is planned (all
-// validation and placement) after the scale-out has settled the topology,
-// then executed with per-destination parallelism.
+// insert), reorganize, ingest, then run the benchmark suite. Both
+// elasticity phases run through their two-phase pipelines explicitly:
+// the scale-out is planned (nodes provisioned, table revised, moves
+// validated and grouped per receiver) and then executed as batched
+// receiver-parallel transfers, and the ingest batch is planned after the
+// rebalance has settled the topology, then executed with per-destination
+// parallelism.
 func (e *Engine) RunCycle() (CycleStats, error) {
 	i := e.cycle
 	if i >= e.gen.Cycles() {
@@ -162,13 +165,16 @@ func (e *Engine) RunCycle() (CycleStats, error) {
 	}
 	k := e.planStep(float64(demand))
 	if k > 0 {
-		res, err := e.cluster.ScaleOut(k)
+		rplan, err := e.cluster.PlanScaleOut(k)
 		if err != nil {
 			return stats, err
 		}
-		stats.Added = len(res.Added)
-		stats.MovedBytes = res.MovedBytes
-		stats.Reorg = res.Reorg
+		stats.Added = len(rplan.Added())
+		stats.MovedBytes = rplan.Bytes()
+		stats.Reorg, err = e.cluster.ExecuteRebalance(rplan)
+		if err != nil {
+			return stats, err
+		}
 	}
 	stats.NodesAfter = e.cluster.NumNodes()
 	plan, err := e.cluster.PlanInsert(batch)

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/array"
 	"repro/internal/cluster"
 	"repro/internal/partition"
 )
@@ -219,6 +220,28 @@ func TestRemainingOperatorsParallelismInvariant(t *testing.T) {
 	}
 }
 
+// TestKNNParallelismInvariant property-tests the two-pass KNN: with the
+// transfer planning hoisted out of the search loop, the parallel
+// per-query searches must yield byte-identical Results to the serial
+// path across randomized sample sizes and k, on both a clustered and a
+// scattered placement (the scattered one maximises remote candidate
+// chunks, i.e. the planned transfers).
+func TestKNNParallelismInvariant(t *testing.T) {
+	clustered, clast := buildAIS(t, "kdtree", 3)
+	scattered, slast := buildAIS(t, "consistent", 3)
+	for trial := 0; trial < 6; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial) * 613))
+		nQueries := 1 + rng.Intn(60)
+		k := 1 + rng.Intn(12)
+		checkParallelismInvariant(t, clustered, fmt.Sprintf("KNN-clustered[n=%d k=%d]", nQueries, k), func() (Result, error) {
+			return KNN(clustered, "Broadcast", int64(clast), nQueries, k)
+		})
+		checkParallelismInvariant(t, scattered, fmt.Sprintf("KNN-scattered[n=%d k=%d]", nQueries, k), func() (Result, error) {
+			return KNN(scattered, "Broadcast", int64(slast), nQueries, k)
+		})
+	}
+}
+
 // TestSuiteRaceParallel runs both benchmark suites with an oversubscribed
 // worker pool — and two suites racing each other on one cluster — so `go
 // test -race` exercises the executor, the shared Tracker and the locked
@@ -246,6 +269,103 @@ func TestSuiteRaceParallel(t *testing.T) {
 		}()
 	}
 	wg.Wait()
+}
+
+// TestSuiteRaceAgainstRebalance runs the MODIS suite concurrently with
+// ExecuteRebalance rounds bouncing a side array's chunks between nodes:
+// the suites and the migration share the catalog shards and the locked
+// node stores, so `go test -race` exercises the rebalance pipeline under
+// live query traffic. The rebalanced array is disjoint from the queried
+// ones, so every concurrent suite run must reproduce the quiescent
+// baseline byte-for-byte.
+func TestSuiteRaceAgainstRebalance(t *testing.T) {
+	c, last := buildMODIS(t, "kdtree", 3)
+	c.SetParallelism(8)
+	// Ballast: a side array whose chunks the rebalance rounds bounce
+	// between nodes while the suite queries Band1/Band2.
+	ballast := array.MustSchema("Ballast",
+		[]array.Attribute{{Name: "v", Type: array.Float64}},
+		[]array.Dimension{
+			{Name: "time", Start: 0, End: array.Unbounded, ChunkInterval: 1},
+			{Name: "x", Start: 0, End: 63, ChunkInterval: 8},
+			{Name: "y", Start: 0, End: 63, ChunkInterval: 8},
+		})
+	if err := c.DefineArray(ballast); err != nil {
+		t.Fatal(err)
+	}
+	var chunks []*array.Chunk
+	for x := int64(0); x < 8; x++ {
+		for y := int64(0); y < 4; y++ {
+			ch := array.NewChunk(ballast, array.ChunkCoord{x % 3, x, y})
+			for i := int64(0); i < 16; i++ {
+				ch.AppendCell(array.Coord{x % 3, x * 8, y*8 + i%8}, []array.CellValue{{Float: float64(i)}})
+			}
+			chunks = append(chunks, ch)
+		}
+	}
+	if _, err := c.Insert(chunks); err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := MODISSuite(c, last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := c.Nodes()
+	ballastMoves := func() []partition.Move {
+		var moves []partition.Move
+		for _, ch := range chunks {
+			from, ok := c.Owner(ch.Key())
+			if !ok {
+				t.Error("ballast chunk lost")
+				return nil
+			}
+			var to partition.NodeID
+			for i, id := range nodes {
+				if id == from {
+					to = nodes[(i+1)%len(nodes)]
+					break
+				}
+			}
+			moves = append(moves, partition.Move{Ref: ch.Ref(), From: from, To: to, Size: ch.SizeBytes()})
+		}
+		return moves
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				got, err := MODISSuite(c, last)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !reflect.DeepEqual(got, baseline) {
+					t.Error("suite result diverged under concurrent rebalance")
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for round := 0; round < 6; round++ {
+			plan, err := c.PlanMigrate(ballastMoves())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := c.ExecuteRebalance(plan); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
 }
 
 // TestTrackerConcurrentCharges hammers one shared Tracker from many

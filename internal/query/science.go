@@ -552,8 +552,16 @@ func sq(x float64) float64 { return x * x }
 // slab. Each search examines the query's own chunk plus its spatial
 // neighbours; remote candidate chunks ship their positions across the
 // network — the cost that halves when the partitioner preserves array
-// space (Fig 7). The slab gather runs on the executor pool; the searches
-// themselves share a transfer-dedup table and stay sequential.
+// space (Fig 7).
+//
+// The operator is two-pass. Pass one plans the transfers: a serial walk
+// over the query sample dedups the (requester-home, candidate-chunk)
+// pairs and charges each unique shipment once — the shared dedup table
+// lives only here. Pass two runs the searches on the executor pool, one
+// query per work item over the now read-only slab maps, so the
+// distance computation — the CPU-heavy part — parallelises while the
+// result stays byte-identical to the serial path (per-query kth
+// distances fold in sample order).
 func KNN(c *cluster.Cluster, arrayName string, timeChunk int64, nQueries, k int) (Result, error) {
 	s, err := schemaOf(c, arrayName)
 	if err != nil {
@@ -589,36 +597,32 @@ func KNN(c *cluster.Cluster, arrayName string, timeChunk int64, nQueries, k int)
 	// canonical order. Because the data is port-skewed, most samples
 	// land in port chunks — matching real marine traffic.
 	stride := total / int64(nQueries)
-	var queries []struct {
+	type knnQuery struct {
 		key array.CoordKey
 		p   point
 	}
+	var queries []knnQuery
 	var idx int64
 	for _, key := range keys {
 		for _, p := range own[key] {
 			if idx%stride == 0 && len(queries) < nQueries {
-				queries = append(queries, struct {
-					key array.CoordKey
-					p   point
-				}{key, p})
+				queries = append(queries, knnQuery{key, p})
 			}
 			idx++
 		}
 	}
 	cellBytes := int64(len(s.Dims)) * 8
-	// shipped tracks which (requester-home, chunk) transfers have been
-	// charged: repeated searches from the same node reuse the copy.
+	// Pass one — plan the transfers. shipped dedups (requester-home,
+	// candidate-chunk) pairs: repeated searches from the same node reuse
+	// the copy, so each unique shipment is charged exactly once.
 	type shipID struct {
 		home  partition.NodeID
 		chunk array.CoordKey
 	}
 	shipped := make(map[shipID]bool)
-	var sumKth float64
 	for _, q := range queries {
 		home := homes[q.key]
-		cc := q.key.Coords()
-		cand := append([]point(nil), own[q.key]...)
-		for _, ncc := range spatialNeighbors(s, cc, 1, 2) {
+		for _, ncc := range spatialNeighbors(s, q.key.Coords(), 1, 2) {
 			nKey := ncc.Packed()
 			nPts, ok := own[nKey]
 			if !ok {
@@ -631,10 +635,28 @@ func KNN(c *cluster.Cluster, arrayName string, timeChunk int64, nQueries, k int)
 					t.Net(int64(len(nPts)) * cellBytes)
 				}
 			}
-			cand = append(cand, nPts...)
 		}
-		t.CPU(home, int64(len(cand)))
-		sumKth += kthDistance(q.p, cand, k)
+	}
+	// Pass two — the searches, one query per work item. Every transfer is
+	// already planned and charged, so the workers only read own/homes and
+	// their own candidate buffers.
+	kth, err := Exec(t, c.Parallelism(), queries, func(w *Tracker, q knnQuery) (float64, error) {
+		home := homes[q.key]
+		cand := append([]point(nil), own[q.key]...)
+		for _, ncc := range spatialNeighbors(s, q.key.Coords(), 1, 2) {
+			if nPts, ok := own[ncc.Packed()]; ok {
+				cand = append(cand, nPts...)
+			}
+		}
+		w.CPU(home, int64(len(cand)))
+		return kthDistance(q.p, cand, k), nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	var sumKth float64
+	for _, d := range kth {
+		sumKth += d
 	}
 	return t.Finish(int64(len(queries)), sumKth/float64(len(queries))), nil
 }
