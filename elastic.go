@@ -65,6 +65,7 @@
 package elastic
 
 import (
+	"repro/internal/advisor"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/partition"
@@ -102,6 +103,33 @@ type (
 	CostModel = cluster.CostModel
 	// Duration is simulated elapsed time in seconds.
 	Duration = cluster.Duration
+	// PlacementEvent is one committed placement change on the cluster's
+	// change feed (chunk added, moved or removed, with owner and size).
+	PlacementEvent = cluster.PlacementEvent
+	// PlacementEventKind classifies a placement change.
+	PlacementEventKind = cluster.PlacementEventKind
+	// PlacementListener receives committed placement event batches from
+	// Cluster.SubscribePlacement.
+	PlacementListener = cluster.PlacementListener
+)
+
+// Placement change kinds published on the cluster's feed.
+const (
+	PlacementAdd    = cluster.PlacementAdd
+	PlacementMove   = cluster.PlacementMove
+	PlacementRemove = cluster.PlacementRemove
+)
+
+// Co-access advisor types (the paper's §8 future-work prototype).
+type (
+	// LiveAdvisor is the continuous co-access advisor: a graph maintained
+	// incrementally from the placement change feed, advising in O(what
+	// changed) instead of rebuilding per call. Attach one with
+	// Config.AdviseArrays (Engine.Advisor) or NewLiveAdvisor.
+	LiveAdvisor = advisor.Live
+	// CoAccessAdvice is an advisor recommendation: a validated rebalance
+	// plan plus predicted before/after remote co-access traffic.
+	CoAccessAdvice = advisor.Advice
 )
 
 // Partitioning types.
@@ -157,6 +185,21 @@ const (
 // NewEngine validates the configuration and assembles the elastic array
 // database over the generator's workload.
 func NewEngine(gen Generator, cfg Config) (*Engine, error) { return core.NewEngine(gen, cfg) }
+
+// NewLiveAdvisor subscribes a continuous co-access advisor to the
+// cluster's placement change feed over the named arrays. The first
+// Advise/Refresh pays one full graph build; every later committed ingest
+// and rebalance patches the graph in place.
+func NewLiveAdvisor(c *Cluster, arrays []string) (*LiveAdvisor, error) {
+	return advisor.NewLive(c, arrays)
+}
+
+// AdviseCoAccess builds a co-access graph from scratch and returns a
+// bounded migration recommendation — the one-shot, rebuild-per-call
+// advisor. Long-lived deployments should hold a LiveAdvisor instead.
+func AdviseCoAccess(c *Cluster, arrays []string, maxMoves int, slack float64) (*CoAccessAdvice, error) {
+	return advisor.Advise(c, arrays, maxMoves, slack)
+}
 
 // NewMODIS builds the synthetic MODIS remote-sensing workload (§3.1).
 func NewMODIS(cfg MODISConfig) (*workload.MODIS, error) { return workload.NewMODIS(cfg) }

@@ -10,6 +10,31 @@
 // partners, subject to a storage-balance guard. Applied after a hash
 // partitioner has scattered array space, it recovers much of the spatial
 // locality the n-D clustered schemes get by construction.
+//
+// # The continuous advisor
+//
+// The package offers the graph in two lifecycles. The one-shot path —
+// BuildGraph + Graph.Plan, wrapped by Advise — rebuilds from a cluster
+// walk on every call: cost O(cluster), no state between calls. The
+// continuous path, Live, maintains one graph for the life of the cluster
+// against the placement change feed (cluster.SubscribePlacement):
+//
+//   - a committed ingest patches each new chunk in, adding its halo and
+//     congruent-join edges against the already-resident neighbourhood;
+//   - a committed rebalance updates owners in place (edges carry
+//     endpoints only, so a move costs O(1) per chunk);
+//   - a removal — the insert-only cluster never emits one today — excises
+//     exactly the chunk's incident edges.
+//
+// Rollbacks, discarded plans and stale-plan rejections publish nothing,
+// so the live graph never sees placement that did not commit. Advising
+// off the live graph requires only that its feed generation matches the
+// cluster's (Refresh checks two atomic loads); a full rebuild — run under
+// Cluster.Quiesce for a consistent snapshot — happens only on first use
+// or detected divergence. Both constructions funnel through the same
+// addChunk routine, and a randomized property test pins a live graph
+// byte-identical (edges, sizes, owners) to a from-scratch BuildGraph
+// after arbitrary plan/execute/discard/rollback interleavings.
 package advisor
 
 import (
@@ -32,14 +57,42 @@ type Edge struct {
 
 // Graph is the co-access graph plus the placement snapshot it was built
 // from. All internal indexes are keyed by the packed chunk identity so
-// building and consulting the graph allocates no key strings.
+// building and consulting the graph allocates no key strings. The graph
+// supports in-place patching — addChunk, moveChunk, removeChunk — which is
+// what Live maintains against the cluster's placement change feed; a graph
+// patched through any sequence of those operations is identical (same edge
+// set, sizes and owners) to one rebuilt from scratch over the same
+// placement.
 type Graph struct {
 	Edges []Edge
-	// adj[key] lists the indexes into Edges incident to the chunk.
+	// adj[key] lists the indexes into Edges incident to the chunk. Only
+	// chunks with at least one edge appear; an excision that empties a
+	// list removes the entry, so ranging adj always yields exactly the
+	// edge-incident chunks.
 	adj   map[array.ChunkKey][]int
 	size  map[array.ChunkKey]int64
 	owner map[array.ChunkKey]partition.NodeID
+	// byCoord indexes resident chunks by grid position across arrays —
+	// the congruent-join partner lookup, maintained so incremental adds
+	// find their structural twins without a cluster walk.
+	byCoord map[array.CoordKey][]array.ChunkKey
+	// nb is the reusable spatial-neighbour enumeration scratch, shared
+	// across every addChunk of this graph's lifetime.
+	nb neighborBuf
 }
+
+func newGraph() *Graph {
+	return &Graph{
+		adj:     make(map[array.ChunkKey][]int),
+		size:    make(map[array.ChunkKey]int64),
+		owner:   make(map[array.ChunkKey]partition.NodeID),
+		byCoord: make(map[array.CoordKey][]array.ChunkKey),
+	}
+}
+
+// boundaryFraction scales halo-edge weights: the halo a windowed operator
+// pulls across a chunk boundary ≈ 1/4 of the smaller chunk.
+const boundaryFraction = 4
 
 // BuildGraph derives the co-access graph from the workload's structural
 // access patterns, mirroring the benchmark suite (Section 3.3):
@@ -52,115 +105,236 @@ type Graph struct {
 //
 // Arrays are congruent when they share dimensionality; time is assumed to
 // be dimension 0 with space on dimensions 1+, as in both workloads.
+//
+// BuildGraph is the cold-start path: it replays every resident chunk, in
+// canonical order, through the same addChunk that patches a live graph,
+// so the two constructions cannot drift.
 func BuildGraph(c *cluster.Cluster, arrays []string) (*Graph, error) {
-	g := &Graph{
-		adj:   make(map[array.ChunkKey][]int),
-		size:  make(map[array.ChunkKey]int64),
-		owner: make(map[array.ChunkKey]partition.NodeID),
-	}
-	byCoord := make(map[array.CoordKey][]array.ChunkKey) // grid position -> keys across arrays
+	g := newGraph()
 	type chunkPos struct {
-		ref  array.ChunkRef
 		key  array.ChunkKey
 		size int64
+		own  partition.NodeID
 	}
 	var all []chunkPos
+	schemaOf := make(map[array.ArrayID]*array.Schema, len(arrays))
 	for _, name := range arrays {
-		if _, ok := c.Schema(name); !ok {
+		s, ok := c.Schema(name)
+		if !ok {
 			return nil, fmt.Errorf("advisor: array %q not defined", name)
 		}
+		schemaOf[s.ID()] = s
 		for _, id := range c.Nodes() {
 			node, _ := c.Node(id)
 			for _, ch := range node.Chunks() {
 				if ch.Schema.Name != name {
 					continue
 				}
-				key := ch.Key()
-				g.size[key] = ch.SizeBytes()
-				g.owner[key] = id
-				all = append(all, chunkPos{ref: ch.Ref(), key: key, size: ch.SizeBytes()})
-				coord := key.Coord()
-				byCoord[coord] = append(byCoord[coord], key)
+				all = append(all, chunkPos{key: ch.Key(), size: ch.SizeBytes(), own: id})
 			}
 		}
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].key.Less(all[j].key) })
-	// Halo edges between spatial neighbours in the same array and slab.
-	const boundaryFraction = 4 // halo ≈ 1/4 of the smaller chunk
-	seen := make(map[[2]array.ChunkKey]bool)
-	addEdge := func(a, b array.ChunkKey, w int64) {
-		if w <= 0 {
-			return
-		}
-		if b.Less(a) {
-			a, b = b, a
-		}
-		pair := [2]array.ChunkKey{a, b}
-		if seen[pair] {
-			return
-		}
-		seen[pair] = true
-		g.Edges = append(g.Edges, Edge{A: a, B: b, Weight: w})
-		g.adj[a] = append(g.adj[a], len(g.Edges)-1)
-		g.adj[b] = append(g.adj[b], len(g.Edges)-1)
-	}
 	for _, cp := range all {
-		s, _ := c.Schema(cp.ref.Array)
-		for _, ncc := range spatialNeighbors(s, cp.ref.Coords) {
-			nkey := array.MakeChunkKey(cp.key.Array(), ncc.Packed())
-			nsize, ok := g.size[nkey]
-			if !ok {
-				continue
-			}
-			w := cp.size
-			if nsize < w {
-				w = nsize
-			}
-			addEdge(cp.key, nkey, w/boundaryFraction)
-		}
-	}
-	// Structural-join edges between equal positions of different arrays.
-	for _, keys := range byCoord {
-		for i := 0; i < len(keys); i++ {
-			for j := i + 1; j < len(keys); j++ {
-				w := g.size[keys[i]]
-				if b := g.size[keys[j]]; b < w {
-					w = b
-				}
-				addEdge(keys[i], keys[j], w)
-			}
-		}
+		g.addChunk(schemaOf[cp.key.Array()], cp.key, cp.size, cp.own)
 	}
 	return g, nil
 }
 
-// spatialNeighbors lists same-slab neighbours (±1 on each non-time
-// dimension, diagonals included).
-func spatialNeighbors(s *array.Schema, cc array.ChunkCoord) []array.ChunkCoord {
-	if len(cc) < 2 {
-		return nil
+// addChunk registers a resident chunk and links it to its already-present
+// partners: halo edges to spatial neighbours in the same array and slab,
+// join edges to congruent twins at the same grid position. It is the one
+// edge-construction routine — BuildGraph replays the whole placement
+// through it and Live patches one arrival at a time, which is what keeps
+// the two graph constructions byte-identical.
+func (g *Graph) addChunk(s *array.Schema, key array.ChunkKey, size int64, owner partition.NodeID) {
+	g.size[key] = size
+	g.owner[key] = owner
+	coord := key.Coord()
+	// Halo edges between spatial neighbours in the same array and slab.
+	for _, nc := range g.nb.neighbors(s, coord) {
+		nkey := array.MakeChunkKey(key.Array(), nc)
+		nsize, ok := g.size[nkey]
+		if !ok {
+			continue
+		}
+		w := size
+		if nsize < w {
+			w = nsize
+		}
+		g.addEdge(key, nkey, w/boundaryFraction)
 	}
-	var out []array.ChunkCoord
-	var walk func(dim int, cur array.ChunkCoord, moved bool)
-	walk = func(dim int, cur array.ChunkCoord, moved bool) {
-		if dim == len(cc) {
-			if moved && s.ValidChunk(cur) {
-				out = append(out, cur.Clone())
+	// Structural-join edges between equal positions of different arrays.
+	for _, twin := range g.byCoord[coord] {
+		w := size
+		if b := g.size[twin]; b < w {
+			w = b
+		}
+		g.addEdge(key, twin, w)
+	}
+	g.byCoord[coord] = append(g.byCoord[coord], key)
+}
+
+// moveChunk records a relocation: O(1) — edges carry endpoints only, so
+// ownership changes never touch the adjacency structure.
+func (g *Graph) moveChunk(key array.ChunkKey, to partition.NodeID) {
+	if _, ok := g.owner[key]; ok {
+		g.owner[key] = to
+	}
+}
+
+// removeChunk excises a chunk: its incident edges leave the edge list by
+// swap-removal — O(incident edges, plus the adjacency fix-up of each
+// swapped-in tail edge) — and its registration leaves the size, owner and
+// position indexes. No other chunk's edges are rebuilt.
+func (g *Graph) removeChunk(key array.ChunkKey) {
+	for {
+		l := g.adj[key]
+		if len(l) == 0 {
+			break
+		}
+		g.removeEdgeAt(l[len(l)-1])
+	}
+	delete(g.adj, key)
+	delete(g.size, key)
+	delete(g.owner, key)
+	coord := key.Coord()
+	twins := g.byCoord[coord]
+	for i, k := range twins {
+		if k == key {
+			twins[i] = twins[len(twins)-1]
+			twins = twins[:len(twins)-1]
+			break
+		}
+	}
+	if len(twins) == 0 {
+		delete(g.byCoord, coord)
+	} else {
+		g.byCoord[coord] = twins
+	}
+}
+
+// addEdge appends the canonical a–b edge unless it already exists. The
+// duplicate check probes the shorter endpoint's adjacency list directly —
+// chunk degrees are tiny (≤8 same-slab neighbours plus the join twins), so
+// scanning a handful of incident edges beats maintaining a parallel
+// pair-set map across the whole build.
+func (g *Graph) addEdge(a, b array.ChunkKey, w int64) {
+	if w <= 0 {
+		return
+	}
+	if b.Less(a) {
+		a, b = b, a
+	}
+	if g.hasEdge(a, b) {
+		return
+	}
+	g.Edges = append(g.Edges, Edge{A: a, B: b, Weight: w})
+	g.adj[a] = append(g.adj[a], len(g.Edges)-1)
+	g.adj[b] = append(g.adj[b], len(g.Edges)-1)
+}
+
+// hasEdge is the adjacency probe behind addEdge's dedup. a–b must be in
+// canonical order (a < b), as stored.
+func (g *Graph) hasEdge(a, b array.ChunkKey) bool {
+	l := g.adj[a]
+	if lb := g.adj[b]; len(lb) < len(l) {
+		l = lb
+	}
+	for _, ei := range l {
+		if e := &g.Edges[ei]; e.A == a && e.B == b {
+			return true
+		}
+	}
+	return false
+}
+
+// removeEdgeAt deletes edge ei by swapping the tail edge into its slot and
+// patching the adjacency indexes of both affected edges' endpoints.
+func (g *Graph) removeEdgeAt(ei int) {
+	e := g.Edges[ei]
+	g.dropAdjIndex(e.A, ei)
+	g.dropAdjIndex(e.B, ei)
+	last := len(g.Edges) - 1
+	if ei != last {
+		moved := g.Edges[last]
+		g.Edges[ei] = moved
+		g.replaceAdjIndex(moved.A, last, ei)
+		g.replaceAdjIndex(moved.B, last, ei)
+	}
+	g.Edges = g.Edges[:last]
+}
+
+// dropAdjIndex removes edge index ei from k's incident list, deleting the
+// list when it empties (so ranging adj yields only edge-incident chunks).
+func (g *Graph) dropAdjIndex(k array.ChunkKey, ei int) {
+	l := g.adj[k]
+	for i, v := range l {
+		if v == ei {
+			l[i] = l[len(l)-1]
+			if len(l) == 1 {
+				delete(g.adj, k)
+			} else {
+				g.adj[k] = l[:len(l)-1]
 			}
 			return
 		}
-		if dim == 0 { // time: growth axis, never offset
-			walk(dim+1, cur, moved)
+	}
+}
+
+// replaceAdjIndex rewrites the entry for edge index old to new in k's
+// incident list (the swap-removal fix-up).
+func (g *Graph) replaceAdjIndex(k array.ChunkKey, old, new int) {
+	l := g.adj[k]
+	for i, v := range l {
+		if v == old {
+			l[i] = new
 			return
 		}
-		for _, d := range [3]int64{-1, 0, 1} {
-			cur[dim] = cc[dim] + d
-			walk(dim+1, cur, moved || d != 0)
-		}
-		cur[dim] = cc[dim]
 	}
-	walk(0, cc.Clone(), false)
-	return out
+}
+
+// neighborBuf reuses the spatial-neighbour enumeration buffers across
+// calls: BuildGraph visits every chunk and Live every arrival, and the
+// per-neighbour coordinate clones the old recursive enumeration allocated
+// dominated the build profile.
+type neighborBuf struct {
+	out  []array.CoordKey
+	work array.ChunkCoord
+}
+
+// neighbors lists the same-slab neighbour positions of coord (±1 on each
+// non-time dimension, diagonals included; dimension 0 is the time/growth
+// axis and never offset), already packed. The returned slice is valid
+// until the next call.
+func (nb *neighborBuf) neighbors(s *array.Schema, coord array.CoordKey) []array.CoordKey {
+	nd := coord.NumDims()
+	if nd < 2 {
+		return nil
+	}
+	nb.out = nb.out[:0]
+	nb.work = coord.AppendTo(nb.work[:0])
+	// Enumerate the 3^(nd-1) spatial offset combinations as base-3 digit
+	// strings; the all-ones code is the zero offset (the chunk itself).
+	total, center := 1, 0
+	for d := 1; d < nd; d++ {
+		center = center*3 + 1
+		total *= 3
+	}
+	for code := 0; code < total; code++ {
+		if code == center {
+			continue
+		}
+		rest := code
+		for d := nd - 1; d >= 1; d-- {
+			nb.work[d] = coord.At(d) + int64(rest%3) - 1
+			rest /= 3
+		}
+		if s.ValidChunk(nb.work) {
+			nb.out = append(nb.out, nb.work.Packed())
+		}
+	}
+	return nb.out
 }
 
 // RemoteBytes sums the weights of edges whose endpoints live on different

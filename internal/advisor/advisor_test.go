@@ -12,7 +12,7 @@ import (
 
 // buildScattered ingests a small MODIS workload under consistent hashing —
 // a placement with good balance and poor locality, the advisor's target.
-func buildScattered(t *testing.T) *cluster.Cluster {
+func buildScattered(t testing.TB) *cluster.Cluster {
 	t.Helper()
 	gen, err := workload.NewMODIS(workload.MODISConfig{Cycles: 3, BaseCells: 16})
 	if err != nil {

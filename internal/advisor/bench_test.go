@@ -1,0 +1,109 @@
+package advisor
+
+import (
+	"testing"
+)
+
+var benchArrays = []string{"Band1", "Band2"}
+
+// BenchmarkBuildGraph measures the cold-start graph build — the path the
+// adjacency-probe dedup and the reusable neighbour scratch optimise.
+func BenchmarkBuildGraph(b *testing.B) {
+	c := buildScattered(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildGraph(c, benchArrays); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAdviseRebuild is the rebuild-per-call advisor: BuildGraph +
+// Plan + PlanMigrate + both traffic predictions, every call.
+func BenchmarkAdviseRebuild(b *testing.B) {
+	c := buildScattered(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		adv, err := Advise(c, benchArrays, 1<<20, 1.4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		adv.Plan.Discard()
+	}
+}
+
+// BenchmarkLiveAdviseSteadyState is the continuous advisor with no
+// placement change between calls: generation check, memoised
+// recommendation, fresh validated plan.
+func BenchmarkLiveAdviseSteadyState(b *testing.B) {
+	c := buildScattered(b)
+	live, err := NewLive(c, benchArrays)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := live.Refresh(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		adv, err := live.Advise(1<<20, 1.4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		adv.Plan.Discard()
+	}
+	b.StopTimer()
+	if live.Rebuilds() != 1 {
+		b.Fatalf("steady-state advise rebuilt %d times", live.Rebuilds())
+	}
+}
+
+// BenchmarkLiveIngestPatch measures the O(delta) graph maintenance itself:
+// each iteration feeds one committed 8-chunk batch through the placement
+// feed into a warm live graph (cluster setup excluded via timer control).
+func BenchmarkLiveIngestPatch(b *testing.B) {
+	f := newBenchFixture(b)
+	live, err := NewLive(f.c, f.names)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := live.Refresh(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		chunks := f.freshChunks(8)
+		plan, err := f.c.PlanInsert(chunks)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		// ExecutePlan's commit delivers the batch synchronously into the
+		// live graph; the measured cost includes the store writes plus the
+		// O(batch) graph patch.
+		if _, err := f.c.ExecutePlan(plan); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if live.Rebuilds() != 1 {
+		b.Fatalf("ingest patching rebuilt %d times", live.Rebuilds())
+	}
+}
+
+// newBenchFixture adapts the randomized-test fixture for benchmarks (a
+// bigger coordinate range so b.N batches of fresh chunks exist).
+func newBenchFixture(b *testing.B) *liveFixture {
+	b.Helper()
+	f := newLiveFixtureTB(b, 4, 1234)
+	f.trange = 1 << 30 // effectively unbounded fresh slots for any b.N
+	if _, err := f.c.Insert(f.freshChunks(60)); err != nil {
+		b.Fatal(err)
+	}
+	return f
+}

@@ -232,10 +232,23 @@ func EncodeChunkBatch(chunks []*Chunk) ([]byte, error) {
 	return b.Bytes(), nil
 }
 
-// DecodeChunkBatch reverses EncodeChunkBatch, resolving each chunk's schema
-// through lookup (typically a cluster's schema registry). Chunks come back
-// in encoding order.
-func DecodeChunkBatch(lookup func(name string) (*Schema, bool), data []byte) ([]*Chunk, error) {
+// ChunkBatchReader decodes a chunk-batch message one chunk at a time off
+// the shared "ABAT" buffer — the streaming counterpart of DecodeChunkBatch.
+// A rebalance receiver drains it with Next, storing each chunk as it
+// materialises, so peak memory for a large migration batch is one decoded
+// chunk plus the wire buffer instead of the whole batch twice.
+type ChunkBatchReader struct {
+	r       *bytes.Reader
+	lookup  func(name string) (*Schema, bool)
+	n       uint32 // chunks in the batch, from the header
+	decoded uint32 // chunks handed out so far
+	nameBuf []byte
+}
+
+// NewChunkBatchReader validates the batch framing and returns a reader
+// positioned at the first chunk. The data buffer must not be mutated until
+// the reader is drained.
+func NewChunkBatchReader(lookup func(name string) (*Schema, bool), data []byte) (*ChunkBatchReader, error) {
 	r := bytes.NewReader(data)
 	rd := func(v interface{}) error {
 		return binary.Read(r, binary.LittleEndian, v)
@@ -252,32 +265,67 @@ func DecodeChunkBatch(lookup func(name string) (*Schema, bool), data []byte) ([]
 	if err := rd(&n); err != nil {
 		return nil, err
 	}
-	out := make([]*Chunk, 0, n)
-	nameBuf := make([]byte, 0, 64)
-	for i := uint32(0); i < n; i++ {
-		var nameLen uint16
-		if err := rd(&nameLen); err != nil {
-			return nil, err
+	return &ChunkBatchReader{r: r, lookup: lookup, n: n, nameBuf: make([]byte, 0, 64)}, nil
+}
+
+// Len returns the total number of chunks the batch carries.
+func (d *ChunkBatchReader) Len() int { return int(d.n) }
+
+// Remaining returns how many chunks have not been decoded yet.
+func (d *ChunkBatchReader) Remaining() int { return int(d.n - d.decoded) }
+
+// Next decodes and returns the next chunk, or io.EOF once the batch is
+// drained (after verifying nothing trails the final chunk). Any other
+// error means the batch is corrupt; the reader is then unusable.
+func (d *ChunkBatchReader) Next() (*Chunk, error) {
+	if d.decoded == d.n {
+		if d.r.Len() != 0 {
+			return nil, fmt.Errorf("array: %d trailing bytes after chunk batch", d.r.Len())
 		}
-		if cap(nameBuf) < int(nameLen) {
-			nameBuf = make([]byte, nameLen)
+		return nil, io.EOF
+	}
+	i := d.decoded
+	var nameLen uint16
+	if err := binary.Read(d.r, binary.LittleEndian, &nameLen); err != nil {
+		return nil, err
+	}
+	if cap(d.nameBuf) < int(nameLen) {
+		d.nameBuf = make([]byte, nameLen)
+	}
+	d.nameBuf = d.nameBuf[:nameLen]
+	if _, err := io.ReadFull(d.r, d.nameBuf); err != nil {
+		return nil, err
+	}
+	s, ok := d.lookup(string(d.nameBuf))
+	if !ok {
+		return nil, fmt.Errorf("array: batch chunk %d of unknown array %q", i, d.nameBuf)
+	}
+	c, err := decodeChunkFrom(d.r, s)
+	if err != nil {
+		return nil, fmt.Errorf("array: batch chunk %d of %s: %w", i, s.Name, err)
+	}
+	d.decoded++
+	return c, nil
+}
+
+// DecodeChunkBatch reverses EncodeChunkBatch, resolving each chunk's schema
+// through lookup (typically a cluster's schema registry). Chunks come back
+// in encoding order, fully materialised; callers that can consume chunks
+// one at a time should drain a ChunkBatchReader instead.
+func DecodeChunkBatch(lookup func(name string) (*Schema, bool), data []byte) ([]*Chunk, error) {
+	d, err := NewChunkBatchReader(lookup, data)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Chunk, 0, d.Len())
+	for {
+		c, err := d.Next()
+		if err == io.EOF {
+			return out, nil
 		}
-		nameBuf = nameBuf[:nameLen]
-		if _, err := io.ReadFull(r, nameBuf); err != nil {
-			return nil, err
-		}
-		s, ok := lookup(string(nameBuf))
-		if !ok {
-			return nil, fmt.Errorf("array: batch chunk %d of unknown array %q", i, nameBuf)
-		}
-		c, err := decodeChunkFrom(r, s)
 		if err != nil {
-			return nil, fmt.Errorf("array: batch chunk %d of %s: %w", i, s.Name, err)
+			return nil, err
 		}
 		out = append(out, c)
 	}
-	if r.Len() != 0 {
-		return nil, fmt.Errorf("array: %d trailing bytes after chunk batch", r.Len())
-	}
-	return out, nil
 }

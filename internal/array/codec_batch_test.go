@@ -2,6 +2,7 @@ package array
 
 import (
 	"bytes"
+	"io"
 	"testing"
 )
 
@@ -80,6 +81,86 @@ func TestEncodeChunkBatchEmpty(t *testing.T) {
 	}
 	if len(back) != 0 {
 		t.Fatalf("empty batch decoded to %d chunks", len(back))
+	}
+}
+
+// TestChunkBatchReaderStreams drains a mixed-array batch one chunk at a
+// time and pins every step — counts, identities, payloads and the EOF
+// tail-check — against the all-at-once decode.
+func TestChunkBatchReaderStreams(t *testing.T) {
+	a, b := batchSchemas()
+	chunks := []*Chunk{
+		fillChunk(t, a, ChunkCoord{0, 0}, 7),
+		fillChunk(t, a, ChunkCoord{1, 1}, 13),
+	}
+	bc := NewChunk(b, ChunkCoord{1, 0})
+	bc.AppendCell(Coord{5, 0}, []CellValue{{Float: 2.5}})
+	chunks = append(chunks, bc)
+	wire, err := EncodeChunkBatch(chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lookup := func(name string) (*Schema, bool) {
+		switch name {
+		case a.Name:
+			return a, true
+		case b.Name:
+			return b, true
+		}
+		return nil, false
+	}
+	dec, err := NewChunkBatchReader(lookup, wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Len() != len(chunks) {
+		t.Fatalf("reader reports %d chunks, want %d", dec.Len(), len(chunks))
+	}
+	for i, c := range chunks {
+		if got := dec.Remaining(); got != len(chunks)-i {
+			t.Fatalf("before chunk %d: %d remaining, want %d", i, got, len(chunks)-i)
+		}
+		got, err := dec.Next()
+		if err != nil {
+			t.Fatalf("chunk %d: %v", i, err)
+		}
+		want, _ := EncodeChunk(c)
+		enc, _ := EncodeChunk(got)
+		if !bytes.Equal(enc, want) {
+			t.Errorf("chunk %d payload diverged through the streaming decode", i)
+		}
+	}
+	if _, err := dec.Next(); err != io.EOF {
+		t.Fatalf("drained reader should return io.EOF, got %v", err)
+	}
+	if dec.Remaining() != 0 {
+		t.Fatal("drained reader reports chunks remaining")
+	}
+}
+
+// TestChunkBatchReaderTrailingBytes: the tail check fires on the Next that
+// crosses the end, exactly like the all-at-once decode.
+func TestChunkBatchReaderTrailingBytes(t *testing.T) {
+	a, _ := batchSchemas()
+	lookup := func(name string) (*Schema, bool) {
+		if name == a.Name {
+			return a, true
+		}
+		return nil, false
+	}
+	wire, err := EncodeChunkBatch([]*Chunk{fillChunk(t, a, ChunkCoord{0, 1}, 4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := NewChunkBatchReader(lookup, append(append([]byte(nil), wire...), 0xff))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dec.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dec.Next(); err == nil || err == io.EOF {
+		t.Fatalf("trailing bytes should fail the final Next, got %v", err)
 	}
 }
 

@@ -80,9 +80,12 @@ type Cluster struct {
 	// epoch counts topology/table revisions (PlanScaleOut commits one,
 	// ExecuteRebalance commits one per plan that moves chunks). Ingest
 	// and rebalance plans are pinned to the epoch they were computed
-	// under and go stale when it moves. Written under admin exclusive,
-	// read under admin shared.
-	epoch uint64
+	// under and go stale when it moves. Written under admin exclusive;
+	// atomic so the lock-free reader Epoch (the advisor's cached-plan
+	// key) can observe it without the admin lock.
+	epoch atomic.Uint64
+	// feed is the committed placement change feed (see feed.go).
+	feed placementFeed
 	// pendingPlans counts planned-but-not-yet-executed batches, whose
 	// chunks are catalogued but not stored; Validate refuses to audit
 	// while any are outstanding.

@@ -38,15 +38,31 @@
 // cannot be moved) and the schema registry, then grouped per receiving
 // node with the predicted wire volume and Eq 7 duration readable off the
 // plan. ExecuteRebalance ships each receiver's chunks as one batched
-// codec round-trip (array.EncodeChunkBatch / DecodeChunkBatch), fanning
-// receivers out in parallel for wide plans, and is atomic: any store
-// error rolls every chunk back to its source and restores the catalog. A
-// plan executes at most once or is released with Discard; like ingest
-// plans, rebalance plans are epoch-stamped, so executing one stales
-// outstanding ingest plans and any concurrently planned rebalance.
-// Validate names outstanding plans of both kinds. ScaleOut and Migrate
-// remain as thin plan+execute wrappers run under one administrative
-// critical section.
+// codec round-trip (array.EncodeChunkBatch, drained chunk-at-a-time with
+// array.ChunkBatchReader so a receiver's peak memory is the wire buffer
+// plus one decoded chunk), fanning receivers out in parallel for wide
+// plans, and is atomic: any store error rolls every chunk back to its
+// source and restores the catalog. A plan executes at most once or is
+// released with Discard; like ingest plans, rebalance plans are
+// epoch-stamped, so executing one stales outstanding ingest plans and any
+// concurrently planned rebalance. Validate names outstanding plans of
+// both kinds. ScaleOut and Migrate remain as thin plan+execute wrappers
+// run under one administrative critical section.
+//
+// # The placement change feed
+//
+// Both execution choke points publish what they committed — chunk adds
+// from ExecutePlan, chunk moves from ExecuteRebalance — as
+// generation-stamped event batches on the placement change feed
+// (SubscribePlacement / PlacementGen; see feed.go for the full contract).
+// Batches are published only after the all-or-nothing execution phase has
+// succeeded, so rollbacks, discards and stale-plan rejections are
+// invisible to subscribers: the feed describes committed placement and
+// nothing else. Derived-state consumers — the co-access advisor's
+// continuous graph (advisor.Live) — patch themselves from the feed and
+// fall back to a full rebuild under Quiesce, which freezes execution, the
+// feed and the generation for a consistent snapshot. With no subscriber
+// the feed costs the hot paths one atomic load.
 //
 // # The sharded catalog
 //

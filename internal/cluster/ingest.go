@@ -245,7 +245,7 @@ func (c *Cluster) planInsert(chunks []*array.Chunk) (*IngestPlan, error) {
 			panic(fmt.Sprintf("cluster: chunk %s reappeared in the catalog during planning", ch.Ref()))
 		}
 	}
-	plan.epoch = c.epoch
+	plan.epoch = c.epoch.Load()
 	c.pendingPlans.Add(1)
 	return plan, nil
 }
@@ -262,7 +262,7 @@ func (c *Cluster) executePlan(plan *IngestPlan) (Duration, error) {
 	if plan.c != c {
 		return 0, fmt.Errorf("cluster: ingest plan belongs to another cluster")
 	}
-	if plan.epoch != c.epoch {
+	if plan.epoch != c.epoch.Load() {
 		// The topology (and possibly the partitioning table) changed
 		// since planning; the destinations are stale. Release the
 		// reservations so the batch can be planned again.
@@ -278,6 +278,16 @@ func (c *Cluster) executePlan(plan *IngestPlan) (Duration, error) {
 	}
 	c.inserted.Add(int64(len(plan.chunks)))
 	c.pendingPlans.Add(-1)
+	// The batch is committed — stores written, catalog final — so the
+	// placement feed can see it. A failed batch rolled everything back
+	// above and publishes nothing.
+	if c.feedActive() {
+		events := make([]PlacementEvent, len(plan.chunks))
+		for i, ch := range plan.chunks {
+			events[i] = PlacementEvent{Kind: PlacementAdd, Key: ch.Key(), Node: plan.dests[i], Size: plan.sizes[i]}
+		}
+		c.publishPlacement(events)
+	}
 	return c.cost.DiskTime(plan.localBytes) + c.cost.NetTime(plan.remoteBytes), nil
 }
 

@@ -196,7 +196,7 @@ func (c *Cluster) planScaleOut(k int) (*RebalancePlan, error) {
 	// ingest or rebalance plan is now stale, so advance the epoch.
 	// Deliberately after the fallible section — a rejected scale-out
 	// leaves plans valid.
-	c.epoch++
+	c.epoch.Add(1)
 	plan, err := c.buildRebalancePlan(moves, added)
 	if err != nil {
 		// The partitioner's moves come from the catalog via State, so
@@ -226,7 +226,7 @@ func (c *Cluster) buildRebalancePlan(moves []partition.Move, added []partition.N
 		c:     c,
 		moves: append([]partition.Move(nil), moves...),
 		added: added,
-		epoch: c.epoch,
+		epoch: c.epoch.Load(),
 	}
 	byNode := make(map[partition.NodeID]int)
 	seen := make(map[array.ChunkKey]bool, len(moves))
@@ -317,7 +317,7 @@ func (c *Cluster) executeRebalance(plan *RebalancePlan) (Duration, error) {
 	if plan.c != c {
 		return 0, fmt.Errorf("cluster: rebalance plan belongs to another cluster")
 	}
-	if plan.epoch != c.epoch {
+	if plan.epoch != c.epoch.Load() {
 		// Another rebalance committed since planning; the validated
 		// placement snapshot is stale. Release the plan so the caller can
 		// replan against the current catalog.
@@ -330,7 +330,7 @@ func (c *Cluster) executeRebalance(plan *RebalancePlan) (Duration, error) {
 	if len(plan.moves) > 0 {
 		// Placement moves under any outstanding ingest plan: stale it.
 		// (Ahead of execution on purpose — conservative on failure.)
-		c.epoch++
+		c.epoch.Add(1)
 	}
 	if err := c.shipReceiverBatches(plan); err != nil {
 		c.pendingRebalances.Add(-1)
@@ -350,6 +350,16 @@ func (c *Cluster) executeRebalance(plan *RebalancePlan) (Duration, error) {
 		}
 	}
 	c.pendingRebalances.Add(-1)
+	// Every move is committed — sources emptied, receivers stored, catalog
+	// final — so the placement feed can see the relocations. A failed
+	// shipment rolled everything back above and publishes nothing.
+	if c.feedActive() && len(plan.moves) > 0 {
+		events := make([]PlacementEvent, len(plan.moves))
+		for i, m := range plan.moves {
+			events[i] = PlacementEvent{Kind: PlacementMove, Key: m.Ref.Packed(), Node: m.To, From: m.From, Size: m.Size}
+		}
+		c.publishPlacement(events)
+	}
 	// Receivers pull in parallel up to the fabric width (Eq 7). The
 	// replica volumes are recomputed from what was actually copied, so
 	// the charge stays honest even if the replica set changed since
@@ -403,21 +413,32 @@ func (c *Cluster) shipReceiverBatches(plan *RebalancePlan) error {
 		}
 		// The batched codec round-trip stands in for the wire, exactly as
 		// the per-chunk trip did: real serialized bytes, one message per
-		// receiver.
+		// receiver. The receiver side streams — each chunk is decoded off
+		// the shared buffer and stored before the next materialises — so
+		// peak memory per receiver is the wire buffer plus one chunk, not
+		// the whole batch twice.
 		wire, err := array.EncodeChunkBatch(p.taken)
 		if err != nil {
 			p.err = err
 			return
 		}
-		decoded, err := array.DecodeChunkBatch(func(name string) (*array.Schema, bool) {
+		dec, err := array.NewChunkBatchReader(func(name string) (*array.Schema, bool) {
 			s, ok := c.schemas[name]
 			return s, ok
 		}, wire)
-		if err != nil {
+		if err != nil || dec.Len() != len(g.idx) {
+			if err == nil {
+				err = fmt.Errorf("batch carries %d chunks, plan shipped %d", dec.Len(), len(g.idx))
+			}
 			p.err = fmt.Errorf("cluster: batch for node %d corrupted in transit: %w", g.node, err)
 			return
 		}
-		for k, ch := range decoded {
+		for k := range g.idx {
+			ch, err := dec.Next()
+			if err != nil {
+				p.err = fmt.Errorf("cluster: batch for node %d corrupted in transit: %w", g.node, err)
+				return
+			}
 			if err := dst.put(ch); err != nil {
 				p.err = err
 				return

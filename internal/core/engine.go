@@ -11,6 +11,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/advisor"
 	"repro/internal/cluster"
 	"repro/internal/partition"
 	"repro/internal/provision"
@@ -46,6 +47,13 @@ type Config struct {
 	// (cluster.Config.Parallelism): 0 gates it at GOMAXPROCS, an
 	// explicit value pins the worker count for benchmark sweeps.
 	Parallelism int
+	// AdviseArrays, when non-empty, attaches a continuous co-access
+	// advisor (advisor.Live) over the named arrays: the advisor's graph
+	// is patched incrementally from the cluster's placement change feed
+	// as cycles ingest and rebalance, so Engine.Advisor().Advise costs
+	// O(what changed) instead of a per-call cluster walk. The arrays
+	// must be among the generator's schemas.
+	AdviseArrays []string
 }
 
 // CycleStats records one workload cycle: the three phase durations, the
@@ -77,6 +85,7 @@ type Engine struct {
 	gen     workload.Generator
 	cluster *cluster.Cluster
 	suite   func(*cluster.Cluster, int) (query.SuiteResult, error)
+	live    *advisor.Live
 	cycle   int
 }
 
@@ -120,6 +129,12 @@ func NewEngine(gen workload.Generator, cfg Config) (*Engine, error) {
 		}
 	}
 	e := &Engine{cfg: cfg, gen: gen, cluster: cl}
+	if len(cfg.AdviseArrays) > 0 {
+		e.live, err = advisor.NewLive(cl, cfg.AdviseArrays)
+		if err != nil {
+			return nil, err
+		}
+	}
 	switch gen.Name() {
 	case "MODIS":
 		e.suite = query.MODISSuite
@@ -134,6 +149,13 @@ func NewEngine(gen workload.Generator, cfg Config) (*Engine, error) {
 // Cluster exposes the underlying database for inspection and ad-hoc
 // queries.
 func (e *Engine) Cluster() *cluster.Cluster { return e.cluster }
+
+// Advisor returns the continuous co-access advisor attached via
+// Config.AdviseArrays, or nil when none was configured. Its graph follows
+// every cycle's ingest and reorganization incrementally; call
+// Advisor().Advise between cycles for an O(delta) placement
+// recommendation.
+func (e *Engine) Advisor() *advisor.Live { return e.live }
 
 // Cycle returns the number of workload cycles completed.
 func (e *Engine) Cycle() int { return e.cycle }

@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"repro/internal/advisor"
 	"repro/internal/provision"
 	"repro/internal/workload"
 )
@@ -47,6 +48,63 @@ func TestNewEngineValidation(t *testing.T) {
 	}
 	if _, err := NewEngine(g, Config{PartitionerKind: "kdtree", InitialNodes: 2, NodeCapacity: 1 << 20, FixedStep: -1}); err == nil {
 		t.Error("negative step should fail")
+	}
+}
+
+// TestEngineContinuousAdvisor: an engine configured with AdviseArrays
+// carries a live advisor whose graph follows every cycle's ingest and
+// scale-out incrementally — after a full run, advising costs no rebuild
+// beyond the warm-up one and matches the cold rebuild-per-call path.
+func TestEngineContinuousAdvisor(t *testing.T) {
+	g := modisGen(t, 5)
+	eng, err := NewEngine(g, Config{
+		PartitionerKind: "consistent",
+		InitialNodes:    2,
+		NodeCapacity:    capacityFor(t, g, 6),
+		FixedStep:       2,
+		MaxNodes:        8,
+		AdviseArrays:    []string{"Band1", "Band2"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := eng.Advisor()
+	if live == nil {
+		t.Fatal("AdviseArrays should attach a continuous advisor")
+	}
+	if err := live.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	warm, err := live.Advise(1000, 1.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm.Plan.Discard()
+	cold, err := advisor.Advise(eng.Cluster(), []string{"Band1", "Band2"}, 1000, 1.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold.Plan.Discard()
+	if warm.RemoteBytesBefore != cold.RemoteBytesBefore || warm.RemoteBytesAfter != cold.RemoteBytesAfter {
+		t.Fatalf("continuous advisor diverged from rebuild: %d→%d vs %d→%d",
+			warm.RemoteBytesBefore, warm.RemoteBytesAfter, cold.RemoteBytesBefore, cold.RemoteBytesAfter)
+	}
+	if len(warm.Moves) != len(cold.Moves) {
+		t.Fatalf("continuous advisor proposes %d moves, rebuild %d", len(warm.Moves), len(cold.Moves))
+	}
+	if n := live.Rebuilds(); n != 1 {
+		t.Fatalf("live advisor rebuilt %d times across the run; want the warm-up build only", n)
+	}
+	if _, err := NewEngine(modisGen(t, 2), Config{
+		PartitionerKind: "consistent",
+		InitialNodes:    2,
+		NodeCapacity:    1 << 24,
+		AdviseArrays:    []string{"NotAnArray"},
+	}); err == nil {
+		t.Error("advising an undefined array should fail engine construction")
 	}
 }
 
