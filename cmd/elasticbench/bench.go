@@ -91,7 +91,7 @@ func measureBench() (benchReport, error) {
 	}
 
 	report := benchReport{
-		Suite:     "ingest + query + elasticity hot path (PR 5: continuous co-access advisor)",
+		Suite:     "ingest + query + elasticity hot path (PR 6: fault domains)",
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
@@ -227,8 +227,126 @@ func measureBench() (benchReport, error) {
 	if err := addSuiteProbes(&report, add); err != nil {
 		return benchReport{}, err
 	}
+	if err := addFaultProbes(&report, add); err != nil {
+		return benchReport{}, err
+	}
 
 	return report, nil
+}
+
+// replicatedFixture builds the benchfixture cluster shape at replication
+// factor 2: same k-d geometry, capacity headroom for the second copies.
+func replicatedFixture(nodes int) (*cluster.Cluster, error) {
+	c, err := cluster.New(cluster.Config{
+		InitialNodes:      nodes,
+		NodeCapacity:      64 << 20,
+		ReplicationFactor: 2,
+		Partitioner: func(initial []partition.NodeID) (partition.Partitioner, error) {
+			return partition.NewKdTree(initial, partition.Geometry{
+				Extents:     []int64{36, 31, 16},
+				SpatialDims: []int{1, 2},
+			}, false)
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := c.DefineArray(benchfixture.Schema()); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// addFaultProbes appends the PR 6 fault-domain probes: replicated ingest
+// end to end (insert_replicated_r2: the R=2 placement + secondary-write
+// overhead against the same fixture insert_4node measures), a full
+// kill-a-node recovery (recover_node: FailNode + PlanRecover +
+// ExecuteRebalance + RecoverNode on a loaded R=2 cluster), and a
+// benchmark-suite query on a degraded cluster served partly off replicas
+// (degraded_query_failover). The R=1 probes recorded by earlier PRs are
+// untouched — replication is opt-in, so their trajectory stays comparable.
+func addFaultProbes(report *benchReport, add func(string, func(b *testing.B))) error {
+	chs := benchfixture.Chunks(benchfixture.NumChunks, benchfixture.CellsPerChunk)
+	add("insert_replicated_r2", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			fresh, err := replicatedFixture(4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			if _, err := fresh.Insert(chs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	victimOf := func(c *cluster.Cluster) partition.NodeID {
+		for _, id := range c.Nodes() {
+			if id != c.Coordinator() && len(c.NodeChunks(id)) > 0 {
+				return id
+			}
+		}
+		return 0
+	}
+	add("recover_node", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			fresh, err := replicatedFixture(4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := fresh.Insert(chs); err != nil {
+				b.Fatal(err)
+			}
+			victim := victimOf(fresh)
+			b.StartTimer()
+			if err := fresh.FailNode(victim); err != nil {
+				b.Fatal(err)
+			}
+			plan, err := fresh.PlanRecover(victim)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := fresh.ExecuteRebalance(plan); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := fresh.RecoverNode(victim); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	// Degraded-query probe: one loaded R=2 cluster with a node down for
+	// the whole run; every scan routes the dead node's chunks to their
+	// surviving replicas.
+	dc, err := replicatedFixture(4)
+	if err != nil {
+		return err
+	}
+	if _, err := dc.Insert(chs); err != nil {
+		return err
+	}
+	if err := dc.FailNode(victimOf(dc)); err != nil {
+		return err
+	}
+	schema := benchfixture.Schema()
+	var queryErr error
+	add("degraded_query_failover", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := query.SelectRegion(dc, schema.Name, query.FullRegion(schema, 35), []string{"v"})
+			if err != nil {
+				queryErr = err
+				return
+			}
+			if res.Cells == 0 {
+				queryErr = fmt.Errorf("degraded scan returned no cells")
+				return
+			}
+		}
+	})
+	return queryErr
 }
 
 // nextNodeMoves plans a whole-cluster migration: every resident chunk to

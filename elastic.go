@@ -36,6 +36,19 @@
 // in parallel, atomically; Discard backs a plan out. ScaleOut and Migrate
 // remain as thin plan+execute wrappers.
 //
+// # Fault tolerance
+//
+// Config.ReplicationFactor >= 2 keeps R copies of every primary chunk on
+// distinct nodes. Cluster.FailNode marks a node Down: planning routes
+// around it, queries fail chunk reads over to surviving replicas
+// (returning *query.ErrPartialResult naming the lost chunks only when no
+// copy survives), and Cluster.PlanRecover produces an inspectable
+// RebalancePlan that promotes surviving replicas to primaries and
+// re-replicates onto healthy nodes — executed by the same
+// ExecuteRebalance, whose per-receiver transfers retry transient store
+// faults with exponential backoff before falling back to atomic
+// rollback. Cluster.RecoverNode readmits a repaired node.
+//
 // # Parallel queries
 //
 // The benchmark operators run their chunk scans on a worker-pool
@@ -70,6 +83,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/partition"
 	"repro/internal/provision"
+	"repro/internal/query"
 	"repro/internal/workload"
 )
 
@@ -111,6 +125,12 @@ type (
 	// PlacementListener receives committed placement event batches from
 	// Cluster.SubscribePlacement.
 	PlacementListener = cluster.PlacementListener
+	// NodeHealth is a node's availability state (Healthy or Down),
+	// driven by Cluster.FailNode / Cluster.RecoverNode.
+	NodeHealth = cluster.NodeHealth
+	// FaultStore wraps a chunk store with programmable write faults —
+	// the chaos-testing hook behind the rebalance retry path.
+	FaultStore = cluster.FaultStore
 )
 
 // Placement change kinds published on the cluster's feed.
@@ -119,6 +139,20 @@ const (
 	PlacementMove   = cluster.PlacementMove
 	PlacementRemove = cluster.PlacementRemove
 )
+
+// Node health states.
+const (
+	NodeHealthy = cluster.NodeHealthy
+	NodeDown    = cluster.NodeDown
+)
+
+// ErrInjected marks write faults injected by a FaultStore; match with
+// errors.Is.
+var ErrInjected = cluster.ErrInjected
+
+// ErrPartialResult is returned by degraded queries when chunks are owned
+// by Down nodes and no surviving replica holds a copy.
+type ErrPartialResult = query.ErrPartialResult
 
 // Co-access advisor types (the paper's §8 future-work prototype).
 type (

@@ -22,6 +22,10 @@ type ownerCatalog struct {
 type ownerShard struct {
 	mu sync.RWMutex
 	m  map[array.ChunkKey]partition.NodeID
+	// sec records the secondary owners (replica holders) of primaries at
+	// replication factor >= 2, lazily allocated so the R=1 hot path pays
+	// nothing — Get never touches it.
+	sec map[array.ChunkKey][]partition.NodeID
 }
 
 // newOwnerCatalog sizes the shard array to the first power of two at or
@@ -84,12 +88,69 @@ func (c *ownerCatalog) Reserve(key array.ChunkKey, n partition.NodeID) bool {
 	return true
 }
 
-// Delete removes a chunk from the catalog.
+// Delete removes a chunk — and any recorded secondaries — from the catalog.
 func (c *ownerCatalog) Delete(key array.ChunkKey) {
 	s := c.shard(key)
 	s.mu.Lock()
 	delete(s.m, key)
+	delete(s.sec, key)
 	s.mu.Unlock()
+}
+
+// SetReplicas records the secondary owners of a chunk, replacing any prior
+// set. An empty or nil set clears the entry.
+func (c *ownerCatalog) SetReplicas(key array.ChunkKey, nodes []partition.NodeID) {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(nodes) == 0 {
+		delete(s.sec, key)
+		return
+	}
+	if s.sec == nil {
+		s.sec = make(map[array.ChunkKey][]partition.NodeID)
+	}
+	s.sec[key] = append([]partition.NodeID(nil), nodes...)
+}
+
+// Replicas returns a copy of the chunk's secondary owners (nil when the
+// chunk has none — always the case at replication factor 1).
+func (c *ownerCatalog) Replicas(key array.ChunkKey) []partition.NodeID {
+	s := c.shard(key)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	nodes, ok := s.sec[key]
+	if !ok {
+		return nil
+	}
+	return append([]partition.NodeID(nil), nodes...)
+}
+
+// Each calls fn for every catalogued primary. Holds each shard's read lock
+// for the duration of its scan; callers needing a stable snapshot run under
+// the cluster's admin-exclusive lock.
+func (c *ownerCatalog) Each(fn func(key array.ChunkKey, owner partition.NodeID)) {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		for k, n := range s.m {
+			fn(k, n)
+		}
+		s.mu.RUnlock()
+	}
+}
+
+// EachReplica calls fn for every chunk with recorded secondary owners. The
+// slice passed to fn is the shard's own; fn must not retain or mutate it.
+func (c *ownerCatalog) EachReplica(fn func(key array.ChunkKey, nodes []partition.NodeID)) {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		for k, nodes := range s.sec {
+			fn(k, nodes)
+		}
+		s.mu.RUnlock()
+	}
 }
 
 // Len returns the number of catalogued chunks.

@@ -3,8 +3,10 @@ package cluster
 import (
 	"fmt"
 	"path/filepath"
+	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/array"
 	"repro/internal/partition"
@@ -94,6 +96,26 @@ type Cluster struct {
 	// (RebalancePlan); Validate names them too, so a leaked plan fails
 	// loudly instead of surfacing as phantom catalog drift.
 	pendingRebalances atomic.Int64
+
+	// replication is the configured copy count per primary chunk (>= 1).
+	// At 1 (the default) nothing below is exercised and ingest behaves
+	// exactly as before.
+	replication int
+	// transferRetries/transferBackoff bound the retry loop rebalance
+	// shipping runs against transient store faults before falling back to
+	// atomic rollback (see putWithRetry).
+	transferRetries int
+	transferBackoff time.Duration
+	// downCount tracks how many nodes are Down — the lock-free gate the
+	// query layer's failover path checks so a healthy cluster pays one
+	// atomic load and nothing else.
+	downCount atomic.Int32
+	// repChunks/repKeys are the authoritative registry of fully
+	// replicated arrays (ReplicateArray): the copy source for scale-out
+	// and node recovery, and the expectation Validate audits every
+	// healthy node against. Mutated and read under admin exclusive.
+	repChunks []*array.Chunk
+	repKeys   map[array.ChunkKey]bool
 }
 
 // newStore builds the chunk store for a node per the cluster's storage
@@ -131,6 +153,20 @@ type Config struct {
 	// sweeps can pin 1/2/4/8 workers regardless of the host's core
 	// count. Retune a live cluster with SetParallelism.
 	Parallelism int
+	// ReplicationFactor is how many copies of every primary chunk the
+	// cluster keeps: 1 (the default) stores primaries only — exactly the
+	// pre-fault-tolerance behaviour — while R >= 2 has ingest place R-1
+	// secondary copies on distinct healthy nodes (rendezvous-hashed away
+	// from the primary), tracked by the catalog and kept consistent
+	// across rebalances. Must not exceed InitialNodes.
+	ReplicationFactor int
+	// TransferRetries is the total number of attempts rebalance shipping
+	// makes per chunk store write before treating the fault as permanent
+	// and rolling the plan back (0 = default 3, 1 = no retry).
+	TransferRetries int
+	// TransferBackoff is the base delay between those attempts, doubling
+	// per retry (0 = default 500µs).
+	TransferBackoff time.Duration
 }
 
 // New assembles and validates a cluster.
@@ -151,13 +187,41 @@ func New(cfg Config) (*Cluster, error) {
 	if err := cost.Validate(); err != nil {
 		return nil, err
 	}
+	replication := cfg.ReplicationFactor
+	if replication == 0 {
+		replication = 1
+	}
+	if replication < 1 {
+		return nil, fmt.Errorf("cluster: replication factor must be >= 1, got %d", replication)
+	}
+	if replication > cfg.InitialNodes {
+		return nil, fmt.Errorf("cluster: replication factor %d exceeds the %d initial node(s)", replication, cfg.InitialNodes)
+	}
+	retries := cfg.TransferRetries
+	if retries == 0 {
+		retries = 3
+	}
+	if retries < 1 {
+		return nil, fmt.Errorf("cluster: transfer retries must be >= 1, got %d", retries)
+	}
+	backoff := cfg.TransferBackoff
+	if backoff == 0 {
+		backoff = 500 * time.Microsecond
+	}
+	if backoff < 0 {
+		return nil, fmt.Errorf("cluster: transfer backoff must be >= 0, got %v", backoff)
+	}
 	c := &Cluster{
-		cost:         cost,
-		nodes:        make(map[partition.NodeID]*Node),
-		owner:        newOwnerCatalog(),
-		schemas:      make(map[string]*array.Schema),
-		nodeCapacity: cfg.NodeCapacity,
-		storageDir:   cfg.StorageDir,
+		cost:            cost,
+		nodes:           make(map[partition.NodeID]*Node),
+		owner:           newOwnerCatalog(),
+		schemas:         make(map[string]*array.Schema),
+		nodeCapacity:    cfg.NodeCapacity,
+		storageDir:      cfg.StorageDir,
+		replication:     replication,
+		transferRetries: retries,
+		transferBackoff: backoff,
+		repKeys:         make(map[array.ChunkKey]bool),
 	}
 	c.parallelism.Store(int32(cfg.Parallelism))
 	var initial []partition.NodeID
@@ -303,10 +367,12 @@ func (c *Cluster) RSD() float64 { return stats.RSD(c.Loads()) }
 // --- ingest ---------------------------------------------------------------
 // (Insert, PlanInsert and ExecutePlan live in ingest.go.)
 
-// ReplicateArray stores the given chunks on every node (the AIS vessel
-// array pattern: small dimension tables replicated for local joins). The
-// charge is one network broadcast of the payload to each non-coordinator
-// node.
+// ReplicateArray stores the given chunks on every healthy node (the AIS
+// vessel array pattern: small dimension tables replicated for local
+// joins); a Down node is backfilled when RecoverNode readmits it. The
+// chunks are registered so scale-out and recovery know the authoritative
+// replica set. The charge is one network broadcast of the payload to each
+// non-coordinator node.
 func (c *Cluster) ReplicateArray(s *array.Schema, chunks []*array.Chunk) (Duration, error) {
 	c.admin.Lock()
 	defer c.admin.Unlock()
@@ -317,10 +383,18 @@ func (c *Cluster) ReplicateArray(s *array.Schema, chunks []*array.Chunk) (Durati
 	}
 	var bytes int64
 	for _, ch := range chunks {
+		if c.repKeys[ch.Key()] {
+			return 0, fmt.Errorf("cluster: chunk %s already replicated", ch.Ref())
+		}
 		bytes += ch.SizeBytes()
 		for _, id := range c.order {
+			if c.nodes[id].Health() == NodeDown {
+				continue
+			}
 			c.nodes[id].putReplica(ch)
 		}
+		c.repChunks = append(c.repChunks, ch)
+		c.repKeys[ch.Key()] = true
 	}
 	return c.cost.NetTime(bytes * int64(len(c.order)-1)), nil
 }
@@ -382,9 +456,14 @@ func (c *Cluster) Migrate(moves []partition.Move) (Duration, error) {
 	return c.executeRebalance(plan)
 }
 
-// Validate audits cluster invariants: the catalog and the node stores agree
-// exactly, every chunk decodes under its schema, and per-node accounting
-// matches payload sizes. Tests call it after every phase.
+// Validate audits cluster invariants: the catalog and the healthy node
+// stores agree exactly, every chunk decodes under its schema, per-node
+// accounting matches payload sizes, and the replica overlay is complete —
+// every healthy node holds the full replicated-array set plus its assigned
+// secondary copies, replica bytes reconcile with Node.ReplicaBytes, and at
+// replication factor R every reachable primary has its required healthy
+// secondaries. A chunk still catalogued to a Down node is reported as
+// degraded (run PlanRecover). Tests call Validate after every phase.
 func (c *Cluster) Validate() error {
 	c.admin.Lock()
 	defer c.admin.Unlock()
@@ -394,6 +473,11 @@ func (c *Cluster) Validate() error {
 	seen := 0
 	for _, id := range c.order {
 		node := c.nodes[id]
+		if node.Health() == NodeDown {
+			// Unreachable store: skipped here, and any primary still
+			// catalogued to it is reported as degraded below.
+			continue
+		}
 		var bytes int64
 		for _, ch := range node.Chunks() {
 			owner, ok := c.owner.Get(ch.Key())
@@ -413,8 +497,114 @@ func (c *Cluster) Validate() error {
 			return fmt.Errorf("cluster: node %d accounts %d bytes, payloads sum to %d", id, node.Bytes(), bytes)
 		}
 	}
+	if lost := c.primariesOnDown(); len(lost) > 0 {
+		return fmt.Errorf("cluster: degraded: %d chunk(s) catalogued to down node(s), first %s (run PlanRecover)", len(lost), lost[0])
+	}
 	if n := c.owner.Len(); seen != n {
 		return fmt.Errorf("cluster: catalog has %d chunks, stores hold %d", n, seen)
+	}
+	return c.validateReplicas()
+}
+
+// validateReplicas audits the replica overlay. Caller holds admin
+// exclusive, with every catalogued primary known reachable.
+func (c *Cluster) validateReplicas() error {
+	required := c.requiredSecondaries()
+	// Per-chunk secondary audit, in canonical order for deterministic
+	// error reporting.
+	type repEntry struct {
+		key   array.ChunkKey
+		nodes []partition.NodeID
+	}
+	var entries []repEntry
+	c.owner.EachReplica(func(key array.ChunkKey, nodes []partition.NodeID) {
+		entries = append(entries, repEntry{key, append([]partition.NodeID(nil), nodes...)})
+	})
+	sort.Slice(entries, func(i, j int) bool { return entries[i].key.Less(entries[j].key) })
+	assigned := make(map[partition.NodeID]int64) // per-node secondary bytes
+	counts := make(map[partition.NodeID]int)
+	withSec := make(map[array.ChunkKey]bool, len(entries))
+	for _, e := range entries {
+		ref := e.key.Ref()
+		owner, ok := c.owner.Get(e.key)
+		if !ok {
+			return fmt.Errorf("cluster: secondaries recorded for uncatalogued chunk %s", ref)
+		}
+		primary, _ := c.nodes[owner].get(ref)
+		if primary == nil {
+			return fmt.Errorf("cluster: replicated chunk %s missing from its primary node %d", ref, owner)
+		}
+		distinct := make(map[partition.NodeID]bool, len(e.nodes))
+		for _, h := range e.nodes {
+			holder, ok := c.nodes[h]
+			if !ok {
+				return fmt.Errorf("cluster: chunk %s has secondary on unknown node %d", ref, h)
+			}
+			if h == owner {
+				return fmt.Errorf("cluster: chunk %s has a secondary on its own primary node %d", ref, h)
+			}
+			if distinct[h] {
+				return fmt.Errorf("cluster: chunk %s lists node %d as secondary twice", ref, h)
+			}
+			distinct[h] = true
+			if holder.Health() == NodeDown {
+				return fmt.Errorf("cluster: degraded: secondary of %s lives on down node %d (run PlanRecover)", ref, h)
+			}
+			rep, ok := holder.Replica(ref)
+			if !ok {
+				return fmt.Errorf("cluster: node %d misses its assigned secondary of %s", h, ref)
+			}
+			if rep.SizeBytes() != primary.SizeBytes() {
+				return fmt.Errorf("cluster: secondary of %s on node %d is %d bytes, primary is %d", ref, h, rep.SizeBytes(), primary.SizeBytes())
+			}
+			assigned[h] += rep.SizeBytes()
+			counts[h]++
+		}
+		if len(e.nodes) != required {
+			return fmt.Errorf("cluster: chunk %s has %d secondaries, replication factor %d requires %d", ref, len(e.nodes), c.replication, required)
+		}
+		withSec[e.key] = true
+	}
+	if required > 0 {
+		var bare []array.ChunkRef
+		c.owner.Each(func(key array.ChunkKey, _ partition.NodeID) {
+			if !withSec[key] {
+				bare = append(bare, key.Ref())
+			}
+		})
+		if len(bare) > 0 {
+			sort.Slice(bare, func(i, j int) bool { return bare[i].Packed().Less(bare[j].Packed()) })
+			return fmt.Errorf("cluster: %d chunk(s) have no secondaries at replication factor %d, first %s", len(bare), c.replication, bare[0])
+		}
+	}
+	// Per-node replica accounting: the full replicated-array set plus the
+	// assigned secondaries, and nothing else.
+	var repArrayBytes int64
+	for _, rep := range c.repChunks {
+		repArrayBytes += rep.SizeBytes()
+	}
+	for _, id := range c.order {
+		node := c.nodes[id]
+		if node.Health() == NodeDown {
+			continue
+		}
+		for _, rep := range c.repChunks {
+			held, ok := node.Replica(rep.Ref())
+			if !ok {
+				return fmt.Errorf("cluster: node %d misses replicated-array chunk %s", id, rep.Ref())
+			}
+			if held.SizeBytes() != rep.SizeBytes() {
+				return fmt.Errorf("cluster: replica of %s on node %d is %d bytes, want %d", rep.Ref(), id, held.SizeBytes(), rep.SizeBytes())
+			}
+		}
+		wantBytes := repArrayBytes + assigned[id]
+		if got := node.ReplicaBytes(); got != wantBytes {
+			return fmt.Errorf("cluster: node %d accounts %d replica bytes, expected %d", id, got, wantBytes)
+		}
+		wantCount := len(c.repChunks) + counts[id]
+		if got := node.NumReplicas(); got != wantCount {
+			return fmt.Errorf("cluster: node %d holds %d replica payloads, expected %d", id, got, wantCount)
+		}
 	}
 	return nil
 }

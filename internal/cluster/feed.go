@@ -48,10 +48,12 @@ const (
 	// PlacementMove: a stored chunk changed nodes (rebalance commit).
 	// From is the previous owner, Node the new one.
 	PlacementMove
-	// PlacementRemove: a stored chunk left the cluster. The storage model
-	// is insert-only, so the current cluster never emits removals; the
-	// kind exists so derived-state consumers handle the full lifecycle
-	// (and future eviction) uniformly.
+	// PlacementRemove: a stored chunk left the serving placement. The
+	// storage model is insert-only, so data is never deleted — but
+	// FailNode emits a removal per primary chunk on the failed node so
+	// derived-state consumers (advisor.Live) excise its edges; a later
+	// PlanRecover promotion re-announces each surviving chunk with a
+	// PlacementAdd on its new owner.
 	PlacementRemove
 )
 

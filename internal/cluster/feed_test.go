@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"errors"
 	"strings"
 	"sync"
 	"testing"
@@ -152,19 +153,21 @@ func TestFeedSilentOnRollbackAndDiscard(t *testing.T) {
 		to = c.Nodes()[1]
 	}
 	dst, _ := c.Node(to)
-	dst.store = &failingStore{ChunkStore: dst.store, failKey: victim.Key()}
+	fs := NewFaultStore(dst.store)
+	fs.FailPuts(victim.Ref(), -1)
+	dst.store = fs
 	moves := []partition.Move{{Ref: victim.Ref(), From: from, To: to, Size: victim.SizeBytes()}}
-	if _, err := c.Migrate(moves); err == nil || !strings.Contains(err.Error(), "injected store failure") {
+	if _, err := c.Migrate(moves); err == nil || !errors.Is(err, ErrInjected) {
 		t.Fatalf("Migrate should surface the injected failure, got %v", err)
 	}
 
 	// Rolled-back ingest: same injected fault on a fresh batch's chunk.
-	dst.store = &failingStore{ChunkStore: dst.store, failKey: chunks[18].Key()}
+	fs.FailPuts(chunks[18].Ref(), -1)
 	if _, err := c.Insert(chunks[16:]); err != nil {
 		// The batch may or may not route the poisoned chunk to the
 		// poisoned node; only a routed batch fails. Either way the feed
 		// stays silent unless the batch committed.
-		if !strings.Contains(err.Error(), "injected store failure") {
+		if !errors.Is(err, ErrInjected) {
 			t.Fatalf("unexpected insert error: %v", err)
 		}
 		if rec.numBatches() != 0 || c.PlacementGen() != gen0 {

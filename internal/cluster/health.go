@@ -1,0 +1,214 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/array"
+	"repro/internal/partition"
+)
+
+// Failure lifecycle: FailNode marks a node Down, RecoverNode readmits it.
+//
+// A Down node keeps its catalog entries — the storage model is insert-only
+// and recovery is exactly accountable, so nothing is silently dropped — but
+// planning routes placements around it, queries fail chunk reads over to
+// surviving replicas (see query.Exec), and Validate reports any primary
+// still catalogued to it as degraded until PlanRecover/ExecuteRebalance
+// restores ownership onto healthy nodes.
+//
+// Health transitions are administrative: they hold the admin lock
+// exclusively, so they never race in-flight ingest or rebalance execution,
+// and they bump the epoch so outstanding plans computed against the old
+// health map go stale instead of executing onto a dead node.
+
+// FailNode marks a node Down, simulating its loss. The node's chunk
+// payloads become unreachable (the in-process store is kept solely so
+// RecoverNode can model a node returning with stale state); its catalog
+// entries remain, to be re-owned by PlanRecover. A removal event per
+// primary chunk is published on the placement feed so derived state excises
+// the node's edges. Failing the coordinator is out of scope and an error —
+// the cluster always keeps at least one healthy node.
+func (c *Cluster) FailNode(id partition.NodeID) error {
+	c.admin.Lock()
+	defer c.admin.Unlock()
+	node, ok := c.nodes[id]
+	if !ok {
+		return fmt.Errorf("cluster: FailNode(%d): unknown node", id)
+	}
+	if id == c.order[0] {
+		return fmt.Errorf("cluster: FailNode(%d): coordinator failover is out of scope", id)
+	}
+	if node.Health() == NodeDown {
+		return fmt.Errorf("cluster: FailNode(%d): node already down", id)
+	}
+	var events []PlacementEvent
+	if c.feedActive() {
+		for _, info := range node.ChunkInfos() {
+			events = append(events, PlacementEvent{
+				Kind: PlacementRemove,
+				Key:  info.Ref.Packed(),
+				Node: id,
+				Size: info.Size,
+			})
+		}
+	}
+	node.setHealth(NodeDown)
+	c.downCount.Add(1)
+	// Stale any outstanding plan computed when the node was healthy: its
+	// destinations may include the dead node.
+	c.epoch.Add(1)
+	c.publishPlacement(events)
+	return nil
+}
+
+// RecoverNode readmits a Down node as an empty-handed rejoin: whatever the
+// returning node holds that the catalog no longer credits to it is
+// discarded (a chunk re-owned by PlanRecover while it was away), missing
+// replicated-array chunks are backfilled, and secondary copies it is no
+// longer assigned are dropped. Re-assigning the node its share of secondary
+// copies is a placement decision, left to a subsequent rebalance. The
+// still-owned primaries it returns with are re-announced on the placement
+// feed. The charge is the network time of the replicated-array backfill.
+func (c *Cluster) RecoverNode(id partition.NodeID) (Duration, error) {
+	c.admin.Lock()
+	defer c.admin.Unlock()
+	node, ok := c.nodes[id]
+	if !ok {
+		return 0, fmt.Errorf("cluster: RecoverNode(%d): unknown node", id)
+	}
+	if node.Health() != NodeDown {
+		return 0, fmt.Errorf("cluster: RecoverNode(%d): node is not down", id)
+	}
+	// Drop primaries the catalog re-owned elsewhere while the node was away.
+	for _, info := range node.ChunkInfos() {
+		owner, ok := c.owner.Get(info.Ref.Packed())
+		if ok && owner == id {
+			continue
+		}
+		if _, err := node.take(info.Ref); err != nil {
+			return 0, fmt.Errorf("cluster: RecoverNode(%d): dropping stale chunk %s: %w", id, info.Ref, err)
+		}
+	}
+	// Drop replica payloads the node is no longer responsible for, and
+	// backfill the replicated arrays it missed.
+	for _, rep := range node.Replicas() {
+		key := rep.Key()
+		if c.repKeys[key] || containsNodeID(c.owner.Replicas(key), id) {
+			continue
+		}
+		node.takeReplica(key)
+	}
+	var backfill int64
+	for _, rep := range c.repChunks {
+		if _, ok := node.Replica(rep.Ref()); ok {
+			continue
+		}
+		node.putReplica(rep)
+		backfill += rep.SizeBytes()
+	}
+	var events []PlacementEvent
+	if c.feedActive() {
+		for _, info := range node.ChunkInfos() {
+			events = append(events, PlacementEvent{
+				Kind: PlacementAdd,
+				Key:  info.Ref.Packed(),
+				Node: id,
+				Size: info.Size,
+			})
+		}
+	}
+	node.setHealth(NodeHealthy)
+	c.downCount.Add(-1)
+	c.epoch.Add(1)
+	c.publishPlacement(events)
+	return c.cost.NetTime(backfill), nil
+}
+
+// Degraded reports whether any node is Down — one atomic load, the gate
+// the query layer checks before paying for failover bookkeeping.
+func (c *Cluster) Degraded() bool { return c.downCount.Load() > 0 }
+
+// NodeHealthOf returns a node's health state.
+func (c *Cluster) NodeHealthOf(id partition.NodeID) (NodeHealth, bool) {
+	node, ok := c.nodes[id]
+	if !ok {
+		return NodeHealthy, false
+	}
+	return node.Health(), true
+}
+
+// HealthyNodes returns the IDs of nodes currently serving, ascending.
+func (c *Cluster) HealthyNodes() []partition.NodeID {
+	return c.healthyNodes()
+}
+
+// healthyNodes returns the serving node IDs in ascending order. Snapshot
+// semantics match Nodes(): safe against ingest, not against concurrent
+// topology or health administration.
+func (c *Cluster) healthyNodes() []partition.NodeID {
+	out := make([]partition.NodeID, 0, len(c.order))
+	for _, id := range c.order {
+		if c.nodes[id].Health() == NodeDown {
+			continue
+		}
+		out = append(out, id)
+	}
+	return out
+}
+
+// requiredSecondaries returns how many secondary copies each primary must
+// have right now: R-1, clamped so a degraded cluster smaller than R is not
+// asked for copies it cannot host on distinct healthy nodes.
+func (c *Cluster) requiredSecondaries() int {
+	want := c.replication
+	if healthy := len(c.healthyNodes()); want > healthy {
+		want = healthy
+	}
+	return want - 1
+}
+
+// ReplicaHolders returns the catalogued secondary owners of a chunk —
+// the nodes the query layer fails a read over to when the primary's node
+// is Down. Nil at replication factor 1.
+func (c *Cluster) ReplicaHolders(key array.ChunkKey) []partition.NodeID {
+	return c.owner.Replicas(key)
+}
+
+// UnreachablePrimaries returns, for the named array, the refs of chunks
+// catalogued to Down nodes, in canonical order — the chunks a degraded
+// query must source from replicas (or report via ErrPartialResult).
+func (c *Cluster) UnreachablePrimaries(arrayName string) []array.ChunkRef {
+	var lost []array.ChunkRef
+	c.owner.Each(func(key array.ChunkKey, owner partition.NodeID) {
+		if node, ok := c.nodes[owner]; ok && node.Health() == NodeDown {
+			if ref := key.Ref(); ref.Array == arrayName {
+				lost = append(lost, ref)
+			}
+		}
+	})
+	sort.Slice(lost, func(i, j int) bool { return lost[i].Packed().Less(lost[j].Packed()) })
+	return lost
+}
+
+// primariesOnDown returns the refs of chunks whose catalogued owner is
+// Down, in canonical order — the chunks PlanRecover must re-own.
+func (c *Cluster) primariesOnDown() []array.ChunkRef {
+	var lost []array.ChunkRef
+	c.owner.Each(func(key array.ChunkKey, owner partition.NodeID) {
+		if node, ok := c.nodes[owner]; ok && node.Health() == NodeDown {
+			lost = append(lost, key.Ref())
+		}
+	})
+	sort.Slice(lost, func(i, j int) bool { return lost[i].Packed().Less(lost[j].Packed()) })
+	return lost
+}
+
+func containsNodeID(list []partition.NodeID, id partition.NodeID) bool {
+	for _, n := range list {
+		if n == id {
+			return true
+		}
+	}
+	return false
+}

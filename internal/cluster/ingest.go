@@ -41,6 +41,9 @@ type IngestPlan struct {
 	sizes    []int64            // parallel to chunks, SizeBytes computed once
 	destList []partition.NodeID // distinct destinations, first-seen order
 	epoch    uint64             // topology epoch the placement was computed under
+	// repDests holds the secondary copy placements, parallel to chunks;
+	// nil at replication factor 1.
+	repDests [][]partition.NodeID
 
 	localBytes  int64
 	remoteBytes int64
@@ -221,10 +224,35 @@ func (c *Cluster) planInsert(chunks []*array.Chunk) (*IngestPlan, error) {
 		return nil, fmt.Errorf("cluster: partitioner returned %d assignments for %d chunks", len(asgn), len(infos))
 	}
 	coord := c.Coordinator()
+	degraded := c.downCount.Load() > 0
+	var healthy []partition.NodeID
+	repWant := 0
+	if degraded || c.replication > 1 {
+		healthy = c.healthyNodes()
+	}
+	if c.replication > 1 {
+		repWant = c.replication
+		if repWant > len(healthy) {
+			repWant = len(healthy)
+		}
+		repWant--
+		plan.repDests = make([][]partition.NodeID, len(chunks))
+	}
 	for i, a := range asgn {
 		dest := a.Node
-		if _, ok := c.nodes[dest]; !ok {
+		node, ok := c.nodes[dest]
+		if !ok {
 			return nil, fmt.Errorf("cluster: partitioner placed %s on unknown node %d", plan.chunks[i].Ref(), dest)
+		}
+		if degraded && node.Health() == NodeDown {
+			// The partitioner's table still names the Down node; divert
+			// the placement deterministically onto a healthy one rather
+			// than rejecting ingest while the cluster is degraded.
+			fb, ok := partition.FallbackNode(plan.chunks[i].Key(), healthy)
+			if !ok {
+				return nil, fmt.Errorf("cluster: no healthy node to place %s on", plan.chunks[i].Ref())
+			}
+			dest = fb
 		}
 		plan.dests[i] = dest
 		if !slices.Contains(plan.destList, dest) {
@@ -234,6 +262,22 @@ func (c *Cluster) planInsert(chunks []*array.Chunk) (*IngestPlan, error) {
 			plan.localBytes += plan.sizes[i]
 		} else {
 			plan.remoteBytes += plan.sizes[i]
+		}
+		if repWant > 0 {
+			reps := partition.ReplicaNodes(plan.chunks[i].Key(), dest, healthy, nil, repWant)
+			if len(reps) < repWant {
+				return nil, fmt.Errorf("cluster: cannot place %d secondary copy(ies) of %s: only %d healthy candidate(s)", repWant, plan.chunks[i].Ref(), len(reps))
+			}
+			plan.repDests[i] = reps
+			// Secondary copies ride the same ingest fan-out: coordinator
+			// copies at disk rate, shipped ones at network rate (Eq 6).
+			for _, r := range reps {
+				if r == coord {
+					plan.localBytes += plan.sizes[i]
+				} else {
+					plan.remoteBytes += plan.sizes[i]
+				}
+			}
 		}
 	}
 	// Reserve the batch in the catalog. Everything fallible has passed —
@@ -275,6 +319,17 @@ func (c *Cluster) executePlan(plan *IngestPlan) (Duration, error) {
 	if err := c.writePlan(plan); err != nil {
 		c.pendingPlans.Add(-1)
 		return 0, err
+	}
+	if plan.repDests != nil {
+		// Secondary copies commit after the primary writes succeeded: a
+		// rolled-back batch leaves no replica state behind. In-memory
+		// replica placement is infallible, so the batch stays atomic.
+		for i, ch := range plan.chunks {
+			for _, r := range plan.repDests[i] {
+				c.nodes[r].putReplica(ch)
+			}
+			c.owner.SetReplicas(ch.Key(), plan.repDests[i])
+		}
 	}
 	c.inserted.Add(int64(len(plan.chunks)))
 	c.pendingPlans.Add(-1)

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/array"
 	"repro/internal/partition"
@@ -45,12 +46,35 @@ type RebalancePlan struct {
 	added  []partition.NodeID // nodes provisioned by PlanScaleOut
 	epoch  uint64             // topology epoch the plan was computed under
 
+	// recovers/lost are populated by PlanRecover: the chunk restorations
+	// to perform, and the chunks with no surviving copy (canonical order).
+	recovers []recoverOp
+	lost     []array.ChunkRef
+
 	totalBytes int64
 	repBytes   int64 // replica payload copied to added nodes (scale-out)
 	maxRecv    int64 // busiest receiver's volume, replicas included
 
 	// state: 0 = planned, 1 = executed, 2 = discarded (IngestPlan's codes).
 	state atomic.Int32
+}
+
+// recoverOp restores one chunk's redundancy after a node failure: promote a
+// surviving secondary to primary (the failed node owned it) and/or ship
+// fresh secondary copies onto healthy nodes.
+type recoverOp struct {
+	ref  array.ChunkRef
+	size int64
+	// promote: host's replica becomes the primary (owner was Down).
+	// Otherwise host is the surviving owner and the op only re-replicates.
+	promote bool
+	host    partition.NodeID
+	reps    []partition.NodeID // final secondary set, ascending
+	fill    []partition.NodeID // subset of reps receiving new copies from host
+	// oldOwner/oldReps restore the catalog if a later op's store write
+	// fails and the plan rolls back.
+	oldOwner partition.NodeID
+	oldReps  []partition.NodeID
 }
 
 // receiverGroup is one receiving node's share of the plan: the indexes
@@ -71,6 +95,20 @@ type ReceiverBatch struct {
 
 // NumMoves returns the number of chunk relocations the plan performs.
 func (p *RebalancePlan) NumMoves() int { return len(p.moves) }
+
+// NumRecoveries returns the number of chunks the plan restores — replica
+// promotions plus re-replications (PlanRecover plans only).
+func (p *RebalancePlan) NumRecoveries() int { return len(p.recovers) }
+
+// Unrecoverable returns the chunks PlanRecover found no surviving copy of,
+// in canonical order — at replication factor 1 that is every chunk the
+// failed node owned. Executing the plan restores everything else; the
+// chunks listed here stay catalogued to the down node, so Validate keeps
+// reporting the cluster degraded and queries over them return
+// ErrPartialResult until RecoverNode readmits the node with its data.
+func (p *RebalancePlan) Unrecoverable() []array.ChunkRef {
+	return append([]array.ChunkRef(nil), p.lost...)
+}
 
 // Bytes returns the total chunk payload the plan ships.
 func (p *RebalancePlan) Bytes() int64 { return p.totalBytes }
@@ -127,7 +165,7 @@ func (c *Cluster) rebalanceWire(moved, replicas, maxRecv int64) int64 {
 // formula both PredictedDuration and ExecuteRebalance charge through, so
 // prediction and charge cannot drift.
 func (c *Cluster) rebalanceCharge(moved, replicas, maxRecv int64, scaleOut bool) Duration {
-	if !scaleOut && moved == 0 {
+	if !scaleOut && moved == 0 && replicas == 0 {
 		return 0
 	}
 	d := c.cost.NetTime(c.rebalanceWire(moved, replicas, maxRecv))
@@ -218,6 +256,231 @@ func (c *Cluster) PlanMigrate(moves []partition.Move) (*RebalancePlan, error) {
 	return c.buildRebalancePlan(moves, nil)
 }
 
+// PlanRecover computes how to restore redundancy after FailNode(id): every
+// chunk the down node owned is promoted onto a surviving secondary (or
+// reported via Unrecoverable when no copy survives — always the case at
+// replication factor 1), and chunks left short of secondaries — by this
+// failure or any other down node — get fresh copies re-replicated onto
+// healthy nodes, keeping surviving holders in place. The returned plan is
+// inspectable like any other RebalancePlan and runs through
+// ExecuteRebalance; Discard is side-effect-free.
+func (c *Cluster) PlanRecover(id partition.NodeID) (*RebalancePlan, error) {
+	c.admin.Lock()
+	defer c.admin.Unlock()
+	node, ok := c.nodes[id]
+	if !ok {
+		return nil, fmt.Errorf("cluster: PlanRecover(%d): unknown node", id)
+	}
+	if node.Health() != NodeDown {
+		return nil, fmt.Errorf("cluster: PlanRecover(%d): node is not down", id)
+	}
+	healthy := c.healthyNodes()
+	want := c.requiredSecondaries()
+	plan := &RebalancePlan{c: c, epoch: c.epoch.Load()}
+
+	// Chunks the down node owned: promote or declare lost.
+	var owned []array.ChunkRef
+	c.owner.Each(func(key array.ChunkKey, owner partition.NodeID) {
+		if owner == id {
+			owned = append(owned, key.Ref())
+		}
+	})
+	sort.Slice(owned, func(i, j int) bool { return owned[i].Packed().Less(owned[j].Packed()) })
+	for _, ref := range owned {
+		key := ref.Packed()
+		old := c.owner.Replicas(key)
+		var survivors []partition.NodeID
+		var size int64
+		for _, h := range old {
+			if c.nodes[h].Health() == NodeDown {
+				continue
+			}
+			rep, ok := c.nodes[h].Replica(ref)
+			if !ok {
+				continue
+			}
+			survivors = append(survivors, h)
+			size = rep.SizeBytes()
+		}
+		if len(survivors) == 0 {
+			plan.lost = append(plan.lost, ref)
+			continue
+		}
+		host, rest := survivors[0], survivors[1:]
+		fill := partition.ReplicaNodes(key, host, healthy, rest, want-len(rest))
+		reps := append(append([]partition.NodeID(nil), rest...), fill...)
+		sort.Slice(reps, func(i, j int) bool { return reps[i] < reps[j] })
+		plan.recovers = append(plan.recovers, recoverOp{
+			ref: ref, size: size, promote: true, host: host,
+			reps: reps, fill: fill, oldOwner: id, oldReps: old,
+		})
+	}
+
+	// Chunks owned by healthy nodes but short of secondaries (a holder on
+	// this — or any — down node): re-replicate from the primary, keeping
+	// surviving holders in place.
+	type repEntry struct {
+		key   array.ChunkKey
+		nodes []partition.NodeID
+	}
+	var entries []repEntry
+	c.owner.EachReplica(func(key array.ChunkKey, nodes []partition.NodeID) {
+		entries = append(entries, repEntry{key, append([]partition.NodeID(nil), nodes...)})
+	})
+	sort.Slice(entries, func(i, j int) bool { return entries[i].key.Less(entries[j].key) })
+	for _, e := range entries {
+		owner, ok := c.owner.Get(e.key)
+		if !ok || owner == id || c.nodes[owner].Health() == NodeDown {
+			continue // handled by the promotion pass (this or another node's)
+		}
+		ref := e.key.Ref()
+		var survivors []partition.NodeID
+		for _, h := range e.nodes {
+			if c.nodes[h].Health() == NodeDown {
+				continue
+			}
+			if _, ok := c.nodes[h].Replica(ref); !ok {
+				continue
+			}
+			survivors = append(survivors, h)
+		}
+		if len(survivors) == len(e.nodes) && len(survivors) >= want {
+			continue // intact
+		}
+		primary, _ := c.nodes[owner].get(ref)
+		if primary == nil {
+			continue // reserved by an outstanding ingest plan; nothing to copy yet
+		}
+		fill := partition.ReplicaNodes(e.key, owner, healthy, survivors, want-len(survivors))
+		reps := append(append([]partition.NodeID(nil), survivors...), fill...)
+		sort.Slice(reps, func(i, j int) bool { return reps[i] < reps[j] })
+		plan.recovers = append(plan.recovers, recoverOp{
+			ref: ref, size: primary.SizeBytes(), host: owner,
+			reps: reps, fill: fill, oldOwner: owner, oldReps: e.nodes,
+		})
+	}
+
+	// Predicted receiver volumes: each fill pulls one copy of the chunk.
+	recv := make(map[partition.NodeID]int64)
+	for _, op := range plan.recovers {
+		for _, f := range op.fill {
+			recv[f] += op.size
+			plan.repBytes += op.size
+		}
+	}
+	for _, b := range recv {
+		if b > plan.maxRecv {
+			plan.maxRecv = b
+		}
+	}
+	c.pendingRebalances.Add(1)
+	return plan, nil
+}
+
+// executeRecoveries applies a plan's recovery ops: promote surviving
+// secondaries into primaries and ship re-replication fills. On a store
+// write failure every completed op is undone, keeping execution atomic.
+// Caller holds admin exclusive.
+func (c *Cluster) executeRecoveries(plan *RebalancePlan) error {
+	rollback := func(done int) {
+		for i := done - 1; i >= 0; i-- {
+			op := plan.recovers[i]
+			key := op.ref.Packed()
+			for _, f := range op.fill {
+				c.nodes[f].takeReplica(key)
+			}
+			c.owner.SetReplicas(key, op.oldReps)
+			if op.promote {
+				if ch, err := c.nodes[op.host].take(op.ref); err == nil {
+					c.nodes[op.host].putReplica(ch)
+				}
+				c.owner.Set(key, op.oldOwner)
+			}
+		}
+	}
+	for i, op := range plan.recovers {
+		key := op.ref.Packed()
+		host := c.nodes[op.host]
+		var payload *array.Chunk
+		if op.promote {
+			ch, ok := host.takeReplica(key)
+			if !ok {
+				rollback(i)
+				return fmt.Errorf("cluster: recovery of %s: surviving replica vanished from node %d", op.ref, op.host)
+			}
+			if err := c.putWithRetry(host, ch); err != nil {
+				host.putReplica(ch)
+				rollback(i)
+				return err
+			}
+			c.owner.Set(key, op.host)
+			payload = ch
+		} else {
+			payload, _ = host.get(op.ref)
+			if payload == nil {
+				rollback(i)
+				return fmt.Errorf("cluster: re-replication of %s: primary vanished from node %d", op.ref, op.host)
+			}
+		}
+		for _, f := range op.fill {
+			c.nodes[f].putReplica(payload)
+		}
+		c.owner.SetReplicas(key, op.reps)
+	}
+	return nil
+}
+
+// fixupMovedReplicas re-derives the secondary set of every moved chunk
+// against its new primary (no-op at replication factor 1): a move onto a
+// node that held a secondary would otherwise leave the primary shadowing
+// itself. Copies shipped to new holders are folded into the receiver
+// volumes and replica byte total for the Eq 7 charge. Caller holds admin
+// exclusive, post-commit.
+func (c *Cluster) fixupMovedReplicas(plan *RebalancePlan, recvExtra map[partition.NodeID]int64, repBytes *int64) {
+	if c.replication <= 1 || len(plan.moves) == 0 {
+		return
+	}
+	healthy := c.healthyNodes()
+	want := c.requiredSecondaries()
+	for _, m := range plan.moves {
+		key := m.Ref.Packed()
+		old := c.owner.Replicas(key)
+		reps := partition.ReplicaNodes(key, m.To, healthy, nil, want)
+		for _, h := range old {
+			if !containsNodeID(reps, h) {
+				c.nodes[h].takeReplica(key)
+			}
+		}
+		ch, _ := c.nodes[m.To].get(m.Ref)
+		for _, h := range reps {
+			if containsNodeID(old, h) {
+				continue
+			}
+			c.nodes[h].putReplica(ch)
+			recvExtra[h] += m.Size
+			*repBytes += m.Size
+		}
+		c.owner.SetReplicas(key, reps)
+	}
+}
+
+// putWithRetry writes a chunk into a node's store, absorbing transient
+// faults: up to c.transferRetries total attempts with exponential backoff
+// from c.transferBackoff. A fault that persists through every attempt is
+// returned for the caller's atomic rollback to handle.
+func (c *Cluster) putWithRetry(n *Node, ch *array.Chunk) error {
+	var err error
+	for attempt := 0; attempt < c.transferRetries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(c.transferBackoff << (attempt - 1))
+		}
+		if err = n.put(ch); err == nil {
+			return nil
+		}
+	}
+	return err
+}
+
 // buildRebalancePlan validates moves against the catalog, the stores and
 // the schema registry, and groups them per receiving node. Caller holds
 // admin exclusive.
@@ -247,8 +510,15 @@ func (c *Cluster) buildRebalancePlan(moves []partition.Move, added []partition.N
 		if !ok {
 			return nil, fmt.Errorf("cluster: plan source node %d unknown", m.From)
 		}
-		if _, ok := c.nodes[m.To]; !ok {
+		if src.Health() == NodeDown {
+			return nil, fmt.Errorf("cluster: plan moves %s off down node %d (use PlanRecover)", m.Ref, m.From)
+		}
+		dst, ok := c.nodes[m.To]
+		if !ok {
 			return nil, fmt.Errorf("cluster: plan target node %d unknown", m.To)
+		}
+		if dst.Health() == NodeDown {
+			return nil, fmt.Errorf("cluster: plan moves %s onto down node %d", m.Ref, m.To)
 		}
 		if _, ok := c.schemas[m.Ref.Array]; !ok {
 			return nil, fmt.Errorf("cluster: chunk %s of undefined array", m.Ref)
@@ -278,9 +548,12 @@ func (c *Cluster) buildRebalancePlan(moves []partition.Move, added []partition.N
 	for _, g := range plan.groups {
 		recv[g.node] = g.bytes
 	}
-	if len(added) > 0 && len(c.order) > 0 {
+	if len(added) > 0 {
+		// Each new node pulls the replicated-array set (from the
+		// authoritative registry — node replica maps also hold R>=2
+		// secondaries, which new nodes do not pull).
 		var perNode int64
-		for _, rep := range c.nodes[c.order[0]].Replicas() {
+		for _, rep := range c.repChunks {
 			perNode += rep.SizeBytes()
 		}
 		plan.repBytes = perNode * int64(len(added))
@@ -327,7 +600,7 @@ func (c *Cluster) executeRebalance(plan *RebalancePlan) (Duration, error) {
 	if !plan.state.CompareAndSwap(planStatePlanned, planStateExecuted) {
 		return 0, fmt.Errorf("cluster: rebalance plan already executed or discarded")
 	}
-	if len(plan.moves) > 0 {
+	if len(plan.moves) > 0 || len(plan.recovers) > 0 {
 		// Placement moves under any outstanding ingest plan: stale it.
 		// (Ahead of execution on purpose — conservative on failure.)
 		c.epoch.Add(1)
@@ -336,12 +609,17 @@ func (c *Cluster) executeRebalance(plan *RebalancePlan) (Duration, error) {
 		c.pendingRebalances.Add(-1)
 		return 0, err
 	}
-	// Replicated arrays must exist on nodes provisioned by the plan.
+	if err := c.executeRecoveries(plan); err != nil {
+		c.pendingRebalances.Add(-1)
+		return 0, err
+	}
+	// Replicated arrays must exist on nodes provisioned by the plan
+	// (copied from the authoritative registry, not a node's replica map,
+	// which also holds R>=2 secondaries the new nodes must not inherit).
 	recvExtra := make(map[partition.NodeID]int64)
 	var repBytes int64
-	if len(plan.added) > 0 && len(c.order) > 0 {
-		src := c.nodes[c.order[0]]
-		for _, rep := range src.Replicas() {
+	if len(plan.added) > 0 {
+		for _, rep := range c.repChunks {
 			for _, id := range plan.added {
 				c.nodes[id].putReplica(rep)
 				recvExtra[id] += rep.SizeBytes()
@@ -349,14 +627,32 @@ func (c *Cluster) executeRebalance(plan *RebalancePlan) (Duration, error) {
 			repBytes += rep.SizeBytes() * int64(len(plan.added))
 		}
 	}
+	// Re-replication fills shipped by the recovery ops above.
+	for _, op := range plan.recovers {
+		for _, f := range op.fill {
+			recvExtra[f] += op.size
+			repBytes += op.size
+		}
+	}
+	// At R >= 2 a committed move leaves the chunk's secondary set computed
+	// against the old primary; re-derive it against the new one so a
+	// secondary never shadows its own primary.
+	c.fixupMovedReplicas(plan, recvExtra, &repBytes)
 	c.pendingRebalances.Add(-1)
 	// Every move is committed — sources emptied, receivers stored, catalog
-	// final — so the placement feed can see the relocations. A failed
-	// shipment rolled everything back above and publishes nothing.
-	if c.feedActive() && len(plan.moves) > 0 {
-		events := make([]PlacementEvent, len(plan.moves))
-		for i, m := range plan.moves {
-			events[i] = PlacementEvent{Kind: PlacementMove, Key: m.Ref.Packed(), Node: m.To, From: m.From, Size: m.Size}
+	// final — so the placement feed can see the relocations (and promoted
+	// primaries re-enter it as adds on their new owner). A failed shipment
+	// rolled everything back above and publishes nothing.
+	if c.feedActive() && (len(plan.moves) > 0 || len(plan.recovers) > 0) {
+		events := make([]PlacementEvent, 0, len(plan.moves)+len(plan.recovers))
+		for _, m := range plan.moves {
+			events = append(events, PlacementEvent{Kind: PlacementMove, Key: m.Ref.Packed(), Node: m.To, From: m.From, Size: m.Size})
+		}
+		for _, op := range plan.recovers {
+			if !op.promote {
+				continue
+			}
+			events = append(events, PlacementEvent{Kind: PlacementAdd, Key: op.ref.Packed(), Node: op.host, Size: op.size})
 		}
 		c.publishPlacement(events)
 	}
@@ -387,10 +683,12 @@ const parallelRebalanceThreshold = 8
 
 // shipReceiverBatches moves every group's chunks: take from the sources,
 // one batched encode, one batched decode at the receiver, put and
-// recatalog. Groups ship in parallel when the plan is wide enough. On any
-// error the whole plan rolls back — every taken or delivered chunk returns
-// to its source and the catalog is restored — so a failed rebalance leaves
-// the cluster exactly as it was.
+// recatalog. Groups ship in parallel when the plan is wide enough, and
+// receiver store writes retry transient faults (putWithRetry) before the
+// fault is treated as permanent. On any persistent error the whole plan
+// rolls back — every taken or delivered chunk returns to its source and
+// the catalog is restored — so a failed rebalance leaves the cluster
+// exactly as it was.
 func (c *Cluster) shipReceiverBatches(plan *RebalancePlan) error {
 	type progress struct {
 		taken []*array.Chunk // originals taken from sources, prefix of group.idx
@@ -439,7 +737,7 @@ func (c *Cluster) shipReceiverBatches(plan *RebalancePlan) error {
 				p.err = fmt.Errorf("cluster: batch for node %d corrupted in transit: %w", g.node, err)
 				return
 			}
-			if err := dst.put(ch); err != nil {
+			if err := c.putWithRetry(dst, ch); err != nil {
 				p.err = err
 				return
 			}

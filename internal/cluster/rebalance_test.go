@@ -2,7 +2,7 @@ package cluster
 
 import (
 	"bytes"
-	"fmt"
+	"errors"
 	"math/rand"
 	"strings"
 	"sync"
@@ -524,20 +524,6 @@ func TestRebalancePlanStaledByScaleOut(t *testing.T) {
 	}
 }
 
-// failingStore wraps a ChunkStore and fails Put for one chunk identity —
-// the fault injection the atomicity test trips mid-rebalance.
-type failingStore struct {
-	ChunkStore
-	failKey array.ChunkKey
-}
-
-func (s *failingStore) Put(c *array.Chunk) error {
-	if c.Key() == s.failKey {
-		return fmt.Errorf("injected store failure for %s", c.Ref())
-	}
-	return s.ChunkStore.Put(c)
-}
-
 // TestRebalanceRollsBackOnStoreError: a store failure at any receiver must
 // leave the cluster exactly as it was — catalog, stores, accounting.
 func TestRebalanceRollsBackOnStoreError(t *testing.T) {
@@ -552,10 +538,12 @@ func TestRebalanceRollsBackOnStoreError(t *testing.T) {
 	}
 	victim := moves[len(moves)/2]
 	dst, _ := c.Node(victim.To)
-	dst.store = &failingStore{ChunkStore: dst.store, failKey: victim.Ref.Packed()}
+	fs := NewFaultStore(dst.store)
+	fs.FailPuts(victim.Ref, -1) // permanent: retries must not mask it
+	dst.store = fs
 	ownersBefore, _ := referenceMigrate(c, nil) // snapshot of current placement
 	payloads := snapshotPayloads(t, c)
-	if _, err := c.Migrate(moves); err == nil || !strings.Contains(err.Error(), "injected store failure") {
+	if _, err := c.Migrate(moves); err == nil || !errors.Is(err, ErrInjected) {
 		t.Fatalf("Migrate should surface the injected failure, got %v", err)
 	}
 	checkAgainstReference(t, c, ownersBefore, payloads)

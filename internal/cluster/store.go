@@ -120,7 +120,13 @@ var (
 	fileUnescaper = strings.NewReplacer("-", ":", "_", "/")
 )
 
-const chunkFileExt = ".chunk"
+const (
+	chunkFileExt = ".chunk"
+	// tmpFileSuffix marks in-flight mirror writes; DiskStore.Put renames
+	// them into place atomically and OpenDiskStore sweeps any left by a
+	// crash.
+	tmpFileSuffix = ".tmp"
+)
 
 // DiskStore is a write-through persistent store: chunks live in memory for
 // serving and are mirrored to one file each (array wire format) under the
@@ -157,7 +163,18 @@ func OpenDiskStore(dir string, lookup func(string) (*array.Schema, bool)) (*Disk
 		return nil, fmt.Errorf("cluster: reading store dir: %w", err)
 	}
 	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), chunkFileExt) {
+		if e.IsDir() {
+			continue
+		}
+		if strings.HasSuffix(e.Name(), tmpFileSuffix) {
+			// A crash mid-Put left an in-flight temp file; its chunk was
+			// never committed (the rename is the commit point), so sweep it.
+			if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
+				return nil, fmt.Errorf("cluster: sweeping stale temp file %q: %w", e.Name(), err)
+			}
+			continue
+		}
+		if !strings.HasSuffix(e.Name(), chunkFileExt) {
 			continue
 		}
 		key := fileUnescaper.Replace(strings.TrimSuffix(e.Name(), chunkFileExt))
@@ -191,16 +208,28 @@ func (s *DiskStore) path(ref array.ChunkRef) string {
 	return filepath.Join(s.dir, fileEscaper.Replace(ref.Key())+chunkFileExt)
 }
 
-// Put implements ChunkStore: memory first, then the disk mirror.
+// Put implements ChunkStore: memory first, then the disk mirror. The
+// mirror write is crash-safe: the payload lands in a temp file that is
+// atomically renamed into place, so a crash mid-write leaves at worst a
+// .tmp file (swept by OpenDiskStore), never a truncated .chunk file that
+// re-indexing would reject as corrupt.
 func (s *DiskStore) Put(c *array.Chunk) error {
 	if err := s.mem.Put(c); err != nil {
 		return err
 	}
 	data, err := array.EncodeChunk(c)
 	if err != nil {
+		_, _ = s.mem.Take(c.Ref())
 		return err
 	}
-	if err := os.WriteFile(s.path(c.Ref()), data, 0o644); err != nil {
+	path := s.path(c.Ref())
+	tmp := path + tmpFileSuffix
+	err = os.WriteFile(tmp, data, 0o644)
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		_ = os.Remove(tmp)
 		// Roll back the memory insert so state stays consistent.
 		_, _ = s.mem.Take(c.Ref())
 		return fmt.Errorf("cluster: persisting chunk %s: %w", c.Ref(), err)

@@ -47,6 +47,11 @@ type Config struct {
 	// (cluster.Config.Parallelism): 0 gates it at GOMAXPROCS, an
 	// explicit value pins the worker count for benchmark sweeps.
 	Parallelism int
+	// ReplicationFactor is the number of copies kept of each primary
+	// chunk (cluster.Config.ReplicationFactor): 0 or 1 stores primaries
+	// only; R >= 2 places R-1 secondary copies on distinct nodes so the
+	// cluster survives node failures (Cluster.FailNode / PlanRecover).
+	ReplicationFactor int
 	// AdviseArrays, when non-empty, attaches a continuous co-access
 	// advisor (advisor.Live) over the named arrays: the advisor's graph
 	// is patched incrementally from the cluster's placement change feed
@@ -107,10 +112,11 @@ func NewEngine(gen workload.Generator, cfg Config) (*Engine, error) {
 	}
 	geom := gen.Geometry()
 	cl, err := cluster.New(cluster.Config{
-		InitialNodes: cfg.InitialNodes,
-		NodeCapacity: cfg.NodeCapacity,
-		Cost:         cfg.Cost,
-		Parallelism:  cfg.Parallelism,
+		InitialNodes:      cfg.InitialNodes,
+		NodeCapacity:      cfg.NodeCapacity,
+		Cost:              cfg.Cost,
+		Parallelism:       cfg.Parallelism,
+		ReplicationFactor: cfg.ReplicationFactor,
 		Partitioner: func(initial []partition.NodeID) (partition.Partitioner, error) {
 			return partition.New(cfg.PartitionerKind, initial, geom, cfg.PartitionerOptions)
 		},

@@ -1,0 +1,92 @@
+package partition
+
+import (
+	"sort"
+
+	"repro/internal/array"
+)
+
+// Replica placement: which nodes hold the secondary copies of a primary
+// chunk when the cluster runs with a replication factor R >= 2.
+//
+// The scheme is rendezvous (highest-random-weight) hashing: every
+// (chunk, node) pair gets a deterministic score, and the R-1 highest-scoring
+// candidates — excluding the primary — hold the copies. Rendezvous hashing
+// gives the two properties replica placement needs here:
+//
+//   - Diversity for free: scores are computed per chunk, so replica sets
+//     spread over the cluster instead of pairing nodes statically (a static
+//     buddy scheme loses every copy of a chunk range when a buddy pair
+//     fails together).
+//   - Minimal churn: adding a node only claims the chunks it now scores
+//     highest on; no other replica assignment changes.
+//
+// The primary's placement stays entirely the partitioner's business —
+// replicas are a fault-tolerance overlay, not a load-balancing input, which
+// is why these helpers live beside the schemes rather than inside them.
+
+// replicaScore ranks a candidate node for a chunk's replica set. The node
+// term is pre-mixed so dense sequential IDs decorrelate before folding with
+// the chunk hash.
+func replicaScore(key array.ChunkKey, n NodeID) uint64 {
+	return mix64(key.Hash() ^ mix64(uint64(n)+0x9e3779b97f4a7c15))
+}
+
+// ReplicaNodes picks the nodes holding the secondary copies of a chunk:
+// the want highest-scoring candidates, excluding the primary and anything
+// in the exclude list (e.g. surviving holders during re-replication).
+// Candidates should already be filtered to healthy nodes by the caller.
+// Fewer than want eligible candidates is not an error — the caller decides
+// whether a short replica set is acceptable; the result is deterministic
+// for a given (key, candidates) regardless of candidate order.
+func ReplicaNodes(key array.ChunkKey, primary NodeID, candidates []NodeID, exclude []NodeID, want int) []NodeID {
+	if want <= 0 {
+		return nil
+	}
+	eligible := make([]NodeID, 0, len(candidates))
+	for _, n := range candidates {
+		if n == primary || containsNode(exclude, n) {
+			continue
+		}
+		eligible = append(eligible, n)
+	}
+	sort.Slice(eligible, func(i, j int) bool {
+		si, sj := replicaScore(key, eligible[i]), replicaScore(key, eligible[j])
+		if si != sj {
+			return si > sj
+		}
+		return eligible[i] < eligible[j]
+	})
+	if want > len(eligible) {
+		want = len(eligible)
+	}
+	out := append([]NodeID(nil), eligible[:want]...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// FallbackNode picks a deterministic stand-in among candidates for a chunk
+// whose assigned destination is unavailable — the highest rendezvous score
+// wins, so repeated plans against the same healthy set divert identically.
+// Returns false when candidates is empty.
+func FallbackNode(key array.ChunkKey, candidates []NodeID) (NodeID, bool) {
+	var best NodeID
+	var bestScore uint64
+	found := false
+	for _, n := range candidates {
+		s := replicaScore(key, n)
+		if !found || s > bestScore || (s == bestScore && n < best) {
+			best, bestScore, found = n, s, true
+		}
+	}
+	return best, found
+}
+
+func containsNode(list []NodeID, n NodeID) bool {
+	for _, m := range list {
+		if m == n {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,30 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/array"
+)
+
+// ErrPartialResult reports that a query could not scan every catalogued
+// chunk of an array: the listed chunks are owned by Down nodes and no
+// surviving replica holds a copy (always the case at replication factor 1).
+// Queries return it instead of a silently smaller answer — the caller
+// decides whether a partial scan is acceptable, knowing exactly which
+// chunks are missing.
+type ErrPartialResult struct {
+	// Array is the array whose scan was incomplete.
+	Array string
+	// Lost lists the unreachable chunks in canonical order.
+	Lost []array.ChunkRef
+}
+
+func (e *ErrPartialResult) Error() string {
+	refs := make([]string, 0, len(e.Lost))
+	for _, ref := range e.Lost {
+		refs = append(refs, ref.String())
+	}
+	return fmt.Sprintf("query: partial result for %s: %d chunk(s) unreachable with no surviving replica: %s",
+		e.Array, len(e.Lost), strings.Join(refs, ", "))
+}

@@ -1,7 +1,9 @@
 package query
 
 import (
+	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -22,16 +24,28 @@ type NodeScan struct {
 }
 
 // scanTargets enumerates the per-node scan work for an array: every
-// cluster node in ascending ID order, each carrying its resident chunks of
-// the array in canonical order, optionally filtered by keep. Nodes holding
-// no matching chunks are included with an empty chunk list so per-node
-// preambles (replica lookups, per-node network charges) run exactly as
-// they would serially.
-func scanTargets(c *cluster.Cluster, arrayName string, keep func(*array.Chunk) bool) []NodeScan {
+// healthy cluster node in ascending ID order, each carrying its resident
+// chunks of the array in canonical order, optionally filtered by keep.
+// Nodes holding no matching chunks are included with an empty chunk list
+// so per-node preambles (replica lookups, per-node network charges) run
+// exactly as they would serially.
+//
+// On a degraded cluster (some node Down), chunks catalogued to Down nodes
+// fail over: each is served from the first surviving replica holder,
+// joining that holder's scan — and charged to it — exactly as if it were
+// resident there. Only when no copy of some chunk survives does
+// scanTargets return *ErrPartialResult listing the lost chunks; a healthy
+// cluster pays a single atomic load for the whole check.
+func scanTargets(c *cluster.Cluster, arrayName string, keep func(*array.Chunk) bool) ([]NodeScan, error) {
 	ids := c.Nodes()
 	out := make([]NodeScan, 0, len(ids))
+	degraded := c.Degraded()
+	idxOf := make(map[partition.NodeID]int, len(ids))
 	for _, id := range ids {
 		node, _ := c.Node(id)
+		if degraded && node.Health() == cluster.NodeDown {
+			continue
+		}
 		var chunks []*array.Chunk
 		for _, ch := range chunksOfArray(node, arrayName) {
 			if keep != nil && !keep(ch) {
@@ -39,9 +53,72 @@ func scanTargets(c *cluster.Cluster, arrayName string, keep func(*array.Chunk) b
 			}
 			chunks = append(chunks, ch)
 		}
+		idxOf[id] = len(out)
 		out = append(out, NodeScan{Node: id, Chunks: chunks})
 	}
-	return out
+	if !degraded {
+		return out, nil
+	}
+	var lost []array.ChunkRef
+	resorted := map[partition.NodeID]bool{}
+	for _, ref := range c.UnreachablePrimaries(arrayName) {
+		var served bool
+		for _, h := range c.ReplicaHolders(ref.Packed()) {
+			hn, ok := c.Node(h)
+			if !ok || hn.Health() == cluster.NodeDown {
+				continue
+			}
+			ch, ok := hn.Replica(ref)
+			if !ok {
+				continue
+			}
+			served = true
+			if keep == nil || keep(ch) {
+				i := idxOf[h]
+				out[i].Chunks = append(out[i].Chunks, ch)
+				resorted[h] = true
+			}
+			break
+		}
+		if !served {
+			lost = append(lost, ref)
+		}
+	}
+	if len(lost) > 0 {
+		return nil, &ErrPartialResult{Array: arrayName, Lost: lost}
+	}
+	// Failed-over chunks joined their holders out of order; restore the
+	// canonical per-node order the operators' folds rely on.
+	for id := range resorted {
+		chunks := out[idxOf[id]].Chunks
+		sort.Slice(chunks, func(i, j int) bool { return chunks[i].Key().Less(chunks[j].Key()) })
+	}
+	return out, nil
+}
+
+// residentChunk returns the serving copy of a catalogued chunk and the
+// node charged for reading it: the owner when healthy, otherwise the
+// first surviving replica holder. When no copy survives it returns
+// *ErrPartialResult naming the chunk.
+func residentChunk(c *cluster.Cluster, ref array.ChunkRef, owner partition.NodeID) (*array.Chunk, partition.NodeID, error) {
+	node, ok := c.Node(owner)
+	if ok && node.Health() != cluster.NodeDown {
+		ch, held := node.Chunk(ref)
+		if !held {
+			return nil, 0, fmt.Errorf("query: catalog places %s on node %d but it is missing", ref, owner)
+		}
+		return ch, owner, nil
+	}
+	for _, h := range c.ReplicaHolders(ref.Packed()) {
+		hn, ok := c.Node(h)
+		if !ok || hn.Health() == cluster.NodeDown {
+			continue
+		}
+		if ch, held := hn.Replica(ref); held {
+			return ch, h, nil
+		}
+	}
+	return nil, 0, &ErrPartialResult{Array: ref.Array, Lost: []array.ChunkRef{ref}}
 }
 
 // Exec is the worker-pool scan executor every query operator runs on. It

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/array"
 	"repro/internal/cluster"
 )
 
@@ -56,17 +57,19 @@ func Regrid(c *cluster.Cluster, spec RegridSpec) ([]GridCell, Result, error) {
 		count int64
 	}
 	t := NewTracker(c)
+	targets, err := scanTargets(c, spec.Array, func(ch *array.Chunk) bool {
+		return ch.Coords[0] == spec.TimeChunk
+	})
+	if err != nil {
+		return nil, Result{}, err
+	}
 	global := make(map[[2]int64]*acc)
 	var cells int64
-	for _, id := range c.Nodes() {
-		node, _ := c.Node(id)
+	for _, ts := range targets {
 		local := make(map[[2]int64]*acc)
-		for _, ch := range chunksOfArray(node, spec.Array) {
-			if ch.Coords[0] != spec.TimeChunk {
-				continue
-			}
-			t.IO(id, ch.ProjectedSizeBytes(attrIdx))
-			t.CPU(id, int64(ch.Len()))
+		for _, ch := range ts.Chunks {
+			t.IO(ts.Node, ch.ProjectedSizeBytes(attrIdx))
+			t.CPU(ts.Node, int64(ch.Len()))
 			col := ch.AttrCols[attrIdx[0]]
 			for i := 0; i < ch.Len(); i++ {
 				bin := [2]int64{

@@ -100,11 +100,20 @@ func GroupByAggregate(c *cluster.Cluster, spec GroupBySpec) (Result, error) {
 		return false
 	}
 	t := NewTracker(c)
-	type groupPart struct {
+	// Partials are kept per chunk and merged in canonical chunk order, so
+	// the float accumulation per group is identical under every placement —
+	// including a degraded cluster serving failed-over replicas. The
+	// network charge stays per node: one (key, sum, count) triple per
+	// node-local distinct group, as before.
+	type chunkAcc struct {
+		key   array.ChunkKey
 		local map[array.CoordKey]*acc
-		cells int64
 	}
-	targets := scanTargets(c, spec.Array, func(ch *array.Chunk) bool {
+	type groupPart struct {
+		chunks []chunkAcc
+		cells  int64
+	}
+	targets, err := scanTargets(c, spec.Array, func(ch *array.Chunk) bool {
 		if len(spec.Regions) == 0 {
 			return true
 		}
@@ -115,11 +124,16 @@ func GroupByAggregate(c *cluster.Cluster, spec GroupBySpec) (Result, error) {
 		}
 		return false
 	})
+	if err != nil {
+		return Result{}, err
+	}
 	parts, err := Exec(t, c.Parallelism(), targets, func(w *Tracker, ts NodeScan) (groupPart, error) {
-		p := groupPart{local: make(map[array.CoordKey]*acc)}
+		p := groupPart{chunks: make([]chunkAcc, 0, len(ts.Chunks))}
+		nodeGroups := make(map[array.CoordKey]bool)
 		for _, ch := range ts.Chunks {
 			w.IO(ts.Node, ch.ProjectedSizeBytes(scanAttrs))
 			w.CPU(ts.Node, int64(ch.Len()))
+			local := make(map[array.CoordKey]*acc)
 			cell := make(array.Coord, 0, len(s.Dims))
 			for i := 0; i < ch.Len(); i++ {
 				cell = ch.CellInto(i, cell)
@@ -130,29 +144,46 @@ func GroupByAggregate(c *cluster.Cluster, spec GroupBySpec) (Result, error) {
 					continue
 				}
 				key := groupKey(cell, spec.GroupDims, spec.GroupScale)
-				a, ok := p.local[key]
+				a, ok := local[key]
 				if !ok {
 					a = &acc{}
-					p.local[key] = a
+					local[key] = a
 				}
 				if aggIdx >= 0 {
 					a.sum += ch.AttrCols[aggIdx].Float64(i)
 				}
 				a.count++
 				p.cells++
+				nodeGroups[key] = true
+			}
+			if len(local) > 0 {
+				p.chunks = append(p.chunks, chunkAcc{key: ch.Key(), local: local})
 			}
 		}
-		w.Net(int64(len(p.local)) * 24) // key + sum + count per group
+		w.Net(int64(len(nodeGroups)) * 24) // key + sum + count per group
 		return p, nil
 	})
 	if err != nil {
 		return Result{}, err
 	}
-	global := make(map[array.CoordKey]*acc)
+	var flat []chunkAcc
 	var cells int64
 	for _, p := range parts {
 		cells += p.cells
-		for k, a := range p.local {
+		flat = append(flat, p.chunks...)
+	}
+	sort.Slice(flat, func(i, j int) bool { return flat[i].key.Less(flat[j].key) })
+	global := make(map[array.CoordKey]*acc)
+	for _, ca := range flat {
+		// Fold each chunk's groups in sorted group order: map iteration
+		// order must not leak into the float sums.
+		gkeys := make([]array.CoordKey, 0, len(ca.local))
+		for k := range ca.local {
+			gkeys = append(gkeys, k)
+		}
+		sort.Slice(gkeys, func(i, j int) bool { return gkeys[i].Less(gkeys[j]) })
+		for _, k := range gkeys {
+			a := ca.local[k]
 			g, ok := global[k]
 			if !ok {
 				g = &acc{}
@@ -237,9 +268,12 @@ func gatherSlab(c *cluster.Cluster, t *Tracker, s *array.Schema, timeChunk int64
 	}
 	cellBytes := int64(len(s.Dims))*8 + 8
 
-	targets := scanTargets(c, s.Name, func(ch *array.Chunk) bool {
+	targets, err := scanTargets(c, s.Name, func(ch *array.Chunk) bool {
 		return ch.Coords[0] == timeChunk
 	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
 	parts, err := Exec(t, c.Parallelism(), targets, func(w *Tracker, ts NodeScan) ([]slabEntry, error) {
 		entries := make([]slabEntry, 0, len(ts.Chunks))
 		for _, ch := range ts.Chunks {
@@ -444,13 +478,26 @@ func KMeans(c *cluster.Cluster, arrayName, attr string, region Region, k, iters 
 	t := NewTracker(c)
 	par := c.Parallelism()
 	// Gather features node-local; IO charged once (iterations hit cache).
-	targets := scanTargets(c, arrayName, func(ch *array.Chunk) bool {
+	// Points are kept per chunk and the chunk list is sorted canonically,
+	// so centroid initialisation and every iteration's float folds are
+	// identical under every placement — including a degraded cluster
+	// serving failed-over replicas.
+	targets, err := scanTargets(c, arrayName, func(ch *array.Chunk) bool {
 		return region.IntersectsChunk(s, ch.Coords)
 	})
-	perNode, err := Exec(t, par, targets, func(w *Tracker, ts NodeScan) ([]point, error) {
-		var pts []point
+	if err != nil {
+		return Result{}, err
+	}
+	type chunkPts struct {
+		key  array.ChunkKey
+		home partition.NodeID
+		pts  []point
+	}
+	perNode, err := Exec(t, par, targets, func(w *Tracker, ts NodeScan) ([]chunkPts, error) {
+		out := make([]chunkPts, 0, len(ts.Chunks))
 		for _, ch := range ts.Chunks {
 			w.IO(ts.Node, ch.ProjectedSizeBytes(attrIdx))
+			var pts []point
 			cell := make(array.Coord, 0, len(s.Dims))
 			for i := 0; i < ch.Len(); i++ {
 				cell = ch.CellInto(i, cell)
@@ -463,15 +510,23 @@ func KMeans(c *cluster.Cluster, arrayName, attr string, region Region, k, iters 
 					v: ch.AttrCols[attrIdx[0]].Float64(i),
 				})
 			}
+			if len(pts) > 0 {
+				out = append(out, chunkPts{key: ch.Key(), home: ts.Node, pts: pts})
+			}
 		}
-		return pts, nil
+		return out, nil
 	})
 	if err != nil {
 		return Result{}, err
 	}
+	var chunks []chunkPts
+	for _, cps := range perNode {
+		chunks = append(chunks, cps...)
+	}
+	sort.Slice(chunks, func(i, j int) bool { return chunks[i].key.Less(chunks[j].key) })
 	var all []point
-	for _, pts := range perNode {
-		all = append(all, pts...)
+	for _, cp := range chunks {
+		all = append(all, cp.pts...)
 	}
 	if len(all) < k {
 		return Result{}, fmt.Errorf("query: only %d cells in region, need k=%d", len(all), k)
@@ -481,48 +536,77 @@ func KMeans(c *cluster.Cluster, arrayName, attr string, region Region, k, iters 
 	for i := range centroids {
 		centroids[i] = all[i*len(all)/k]
 	}
-	type nodePoints struct {
-		node partition.NodeID
-		pts  []point
+	// Iteration work stays node-granular (one Exec item per holder, like
+	// the gather), but each node reports one partial per chunk, indexed by
+	// the chunk's canonical position, so the coordinator folds them in
+	// chunk order regardless of which node computed what.
+	type nodeGroup struct {
+		home partition.NodeID
+		idx  []int // canonical positions of this node's chunks
 	}
-	nodeItems := make([]nodePoints, len(targets))
-	for i, ts := range targets {
-		nodeItems[i] = nodePoints{node: ts.Node, pts: perNode[i]}
+	byHome := make(map[partition.NodeID]*nodeGroup)
+	var groups []*nodeGroup
+	for i, cp := range chunks {
+		g, ok := byHome[cp.home]
+		if !ok {
+			g = &nodeGroup{home: cp.home}
+			byHome[cp.home] = g
+			groups = append(groups, g)
+		}
+		g.idx = append(g.idx, i)
 	}
 	type kmPart struct {
+		idx     int
 		sums    []point
 		counts  []int64
 		inertia float64
 	}
 	var inertia float64
 	for it := 0; it < iters; it++ {
-		parts, err := Exec(t, par, nodeItems, func(w *Tracker, np nodePoints) (kmPart, error) {
-			p := kmPart{sums: make([]point, k), counts: make([]int64, k)}
-			w.CPU(np.node, int64(len(np.pts))*int64(k))
-			for _, pt := range np.pts {
-				best, bestD := 0, math.Inf(1)
-				for ci, ct := range centroids {
-					d := sq(pt.x-ct.x) + sq(pt.y-ct.y) + sq(pt.v-ct.v)
-					if d < bestD {
-						best, bestD = ci, d
+		parts, err := Exec(t, par, groups, func(w *Tracker, g *nodeGroup) ([]kmPart, error) {
+			out := make([]kmPart, 0, len(g.idx))
+			for _, i := range g.idx {
+				cp := chunks[i]
+				p := kmPart{idx: i, sums: make([]point, k), counts: make([]int64, k)}
+				w.CPU(g.home, int64(len(cp.pts))*int64(k))
+				for _, pt := range cp.pts {
+					best, bestD := 0, math.Inf(1)
+					for ci, ct := range centroids {
+						d := sq(pt.x-ct.x) + sq(pt.y-ct.y) + sq(pt.v-ct.v)
+						if d < bestD {
+							best, bestD = ci, d
+						}
 					}
+					p.sums[best].x += pt.x
+					p.sums[best].y += pt.y
+					p.sums[best].v += pt.v
+					p.counts[best]++
+					p.inertia += bestD
 				}
-				p.sums[best].x += pt.x
-				p.sums[best].y += pt.y
-				p.sums[best].v += pt.v
-				p.counts[best]++
-				p.inertia += bestD
+				out = append(out, p)
 			}
-			w.Net(int64(k) * 32) // partial centroids to the coordinator
-			return p, nil
+			return out, nil
 		})
 		if err != nil {
 			return Result{}, err
 		}
+		// Partial centroids ship to the coordinator once per node, as
+		// before (nodes with no points in the region still report).
+		t.Net(int64(k) * 32 * int64(len(targets)))
+		ordered := make([]*kmPart, len(chunks))
+		for pi := range parts {
+			for pj := range parts[pi] {
+				p := &parts[pi][pj]
+				ordered[p.idx] = p
+			}
+		}
 		sums := make([]point, k)
 		counts := make([]int64, k)
 		inertia = 0
-		for _, p := range parts {
+		for _, p := range ordered {
+			if p == nil {
+				continue
+			}
 			for ci := 0; ci < k; ci++ {
 				sums[ci].x += p.sums[ci].x
 				sums[ci].y += p.sums[ci].y
@@ -711,9 +795,12 @@ func CollisionProjection(c *cluster.Cluster, arrayName string, timeChunk int64, 
 	par := c.Parallelism()
 	// Project per chunk where the data lives.
 	scan := []int{speedIdx[0], headingIdx[0]}
-	targets := scanTargets(c, arrayName, func(ch *array.Chunk) bool {
+	targets, err := scanTargets(c, arrayName, func(ch *array.Chunk) bool {
 		return ch.Coords[0] == timeChunk
 	})
+	if err != nil {
+		return Result{}, err
+	}
 	parts, err := Exec(t, par, targets, func(w *Tracker, ts NodeScan) ([]slabEntry, error) {
 		entries := make([]slabEntry, 0, len(ts.Chunks))
 		for _, ch := range ts.Chunks {

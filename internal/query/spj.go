@@ -2,7 +2,6 @@ package query
 
 import (
 	"fmt"
-	"math/rand"
 	"sort"
 
 	"repro/internal/array"
@@ -29,9 +28,12 @@ func SelectRegion(c *cluster.Cluster, arrayName string, region Region, attrs []s
 		return Result{}, err
 	}
 	t := NewTracker(c)
-	targets := scanTargets(c, arrayName, func(ch *array.Chunk) bool {
+	targets, err := scanTargets(c, arrayName, func(ch *array.Chunk) bool {
 		return region.IntersectsChunk(s, ch.Coords)
 	})
+	if err != nil {
+		return Result{}, err
+	}
 	parts, err := Exec(t, c.Parallelism(), targets, func(w *Tracker, ts NodeScan) (int64, error) {
 		var matched int64
 		for _, ch := range ts.Chunks {
@@ -55,11 +57,30 @@ func SelectRegion(c *cluster.Cluster, arrayName string, region Region, attrs []s
 	return t.Finish(matched, float64(matched)), nil
 }
 
+// sampler is a splitmix64 stream: a stateless-seed PRNG cheap enough to
+// reseed once per chunk (unlike math/rand's 607-word lagged-Fibonacci
+// state, whose per-chunk seeding would dominate the scan).
+type sampler uint64
+
+// next returns the next uniform draw in [0, 1).
+func (s *sampler) next() float64 {
+	*s += 0x9E3779B97F4A7C15
+	z := uint64(*s)
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
+}
+
 // Quantile runs the benchmark's Sort query for MODIS: estimate the q-th
 // quantile of an attribute from a uniform random sample — a parallelized
 // sort. Every node scans its chunks, samples locally, and ships the sample
-// to the coordinator, which sorts and interpolates. Each node's sampler is
-// seeded by its ID, so the sample is identical at every parallelism level.
+// to the coordinator, which sorts and interpolates. The sampler is seeded
+// per chunk (by the chunk's key), so the drawn sample is identical at
+// every parallelism level and under every placement — including a
+// degraded cluster serving chunks from failed-over replicas.
 func Quantile(c *cluster.Cluster, arrayName, attr string, q, sampleFrac float64) (Result, error) {
 	s, err := schemaOf(c, arrayName)
 	if err != nil {
@@ -74,16 +95,19 @@ func Quantile(c *cluster.Cluster, arrayName, attr string, q, sampleFrac float64)
 	}
 	t := NewTracker(c)
 	coord := c.Coordinator()
-	targets := scanTargets(c, arrayName, nil)
+	targets, err := scanTargets(c, arrayName, nil)
+	if err != nil {
+		return Result{}, err
+	}
 	parts, err := Exec(t, c.Parallelism(), targets, func(w *Tracker, ts NodeScan) ([]float64, error) {
-		rng := rand.New(rand.NewSource(int64(ts.Node)*7919 + 1))
 		var local []float64
 		for _, ch := range ts.Chunks {
 			w.IO(ts.Node, ch.ProjectedSizeBytes(attrIdx))
 			w.CPU(ts.Node, int64(ch.Len()))
+			rng := sampler(ch.Key().Hash())
 			col := ch.AttrCols[attrIdx[0]]
 			for i := 0; i < col.Len(); i++ {
-				if rng.Float64() < sampleFrac {
+				if rng.next() < sampleFrac {
 					local = append(local, col.Float64(i))
 				}
 			}
@@ -124,7 +148,10 @@ func DistinctSorted(c *cluster.Cluster, arrayName, attr string) (Result, error) 
 	}
 	t := NewTracker(c)
 	coord := c.Coordinator()
-	targets := scanTargets(c, arrayName, nil)
+	targets, err := scanTargets(c, arrayName, nil)
+	if err != nil {
+		return Result{}, err
+	}
 	parts, err := Exec(t, c.Parallelism(), targets, func(w *Tracker, ts NodeScan) (map[int64]bool, error) {
 		local := make(map[int64]bool)
 		for _, ch := range ts.Chunks {
@@ -188,26 +215,35 @@ func JoinBands(c *cluster.Cluster, left, right, attr string, timeChunk int64) (R
 		return Result{}, err
 	}
 	t := NewTracker(c)
-	type joinPart struct {
+	// Per-chunk partials, merged in canonical chunk order: the float fold
+	// must not depend on which node served which chunk, or a degraded run
+	// (replica failover) would drift from the healthy baseline.
+	type chunkJoin struct {
+		key     array.ChunkKey
 		matches int64
 		ndviSum float64
 	}
-	targets := scanTargets(c, left, func(ch *array.Chunk) bool {
+	targets, err := scanTargets(c, left, func(ch *array.Chunk) bool {
 		return ch.Coords[0] == timeChunk
 	})
-	parts, err := Exec(t, c.Parallelism(), targets, func(w *Tracker, ts NodeScan) (joinPart, error) {
-		var p joinPart
+	if err != nil {
+		return Result{}, err
+	}
+	parts, err := Exec(t, c.Parallelism(), targets, func(w *Tracker, ts NodeScan) ([]chunkJoin, error) {
+		out := make([]chunkJoin, 0, len(ts.Chunks))
 		for _, lch := range ts.Chunks {
 			rref := array.ChunkRef{Array: right, Coords: lch.Coords}
 			rOwner, ok := c.Owner(array.MakeChunkKey(rs.ID(), lch.Key().Coord()))
 			if !ok {
 				continue // no matching chunk in the right band
 			}
-			rNode, _ := c.Node(rOwner)
-			rch, ok := rNode.Chunk(rref)
-			if !ok {
-				return joinPart{}, fmt.Errorf("query: catalog places %s on node %d but it is missing", rref, rOwner)
+			// Read the right side where it is served — its owner, or a
+			// surviving replica when the owner is Down.
+			rch, rHome, err := residentChunk(c, rref, rOwner)
+			if err != nil {
+				return nil, err
 			}
+			rOwner = rHome
 			// Scan both sides where they live.
 			w.IO(ts.Node, lch.ProjectedSizeBytes(lAttr))
 			w.IO(rOwner, rch.ProjectedSizeBytes(rAttr))
@@ -224,17 +260,21 @@ func JoinBands(c *cluster.Cluster, left, right, attr string, timeChunk int64) (R
 			}
 			w.CPU(execNode, int64(lch.Len()+rch.Len()))
 			m, sum := structuralJoinNDVI(lch, rch, lAttr[0], rAttr[0])
-			p.matches += m
-			p.ndviSum += sum
+			out = append(out, chunkJoin{key: lch.Key(), matches: m, ndviSum: sum})
 		}
-		return p, nil
+		return out, nil
 	})
 	if err != nil {
 		return Result{}, err
 	}
+	var flat []chunkJoin
+	for _, p := range parts {
+		flat = append(flat, p...)
+	}
+	sort.Slice(flat, func(i, j int) bool { return flat[i].key.Less(flat[j].key) })
 	var matches int64
 	var ndviSum float64
-	for _, p := range parts {
+	for _, p := range flat {
 		matches += p.matches
 		ndviSum += p.ndviSum
 	}
@@ -297,9 +337,12 @@ func JoinReplicated(c *cluster.Cluster, factArray, factKey, dimArray string, tim
 		joined  int64
 		typeSum float64
 	}
-	targets := scanTargets(c, factArray, func(ch *array.Chunk) bool {
+	targets, err := scanTargets(c, factArray, func(ch *array.Chunk) bool {
 		return ch.Coords[0] == timeChunk
 	})
+	if err != nil {
+		return Result{}, err
+	}
 	parts, err := Exec(t, c.Parallelism(), targets, func(w *Tracker, ts NodeScan) (repPart, error) {
 		node, _ := c.Node(ts.Node)
 		var dim *array.Chunk

@@ -185,16 +185,20 @@ func AISSuite(c *cluster.Cluster, cycle int) (SuiteResult, error) {
 }
 
 // densestChunk returns the coordinates of the largest chunk of the array
-// in the given time slab.
+// in the given time slab. The scan goes through scanTargets so a degraded
+// cluster considers failed-over replicas too; the selection itself is
+// order-independent (size, then canonical coordinates break ties).
 func densestChunk(c *cluster.Cluster, arrayName string, timeChunk int64) (array.ChunkCoord, error) {
+	targets, err := scanTargets(c, arrayName, func(ch *array.Chunk) bool {
+		return ch.Coords[0] == timeChunk
+	})
+	if err != nil {
+		return nil, err
+	}
 	var best array.ChunkCoord
 	var bestSize int64 = -1
-	for _, id := range c.Nodes() {
-		node, _ := c.Node(id)
-		for _, ch := range chunksOfArray(node, arrayName) {
-			if ch.Coords[0] != timeChunk {
-				continue
-			}
+	for _, ts := range targets {
+		for _, ch := range ts.Chunks {
 			size := ch.SizeBytes()
 			if size > bestSize || (size == bestSize && ch.Coords.Less(best)) {
 				best, bestSize = ch.Coords.Clone(), size
