@@ -1,0 +1,46 @@
+package cluster
+
+import "testing"
+
+// Review repro: R=2 on 2 nodes; fail one, recover via PlanRecover (want
+// clamped to 0 secondaries), readmit the node. Is there any path back to
+// a Validate-clean cluster?
+func TestReviewClampedRecoveryThenReadmit(t *testing.T) {
+	c := newReplicatedCluster(t, 2, 2)
+	chunks := makeChunks(t, 8, 8, 1)
+	if _, err := c.Insert(chunks); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	victim := pickVictim(t, c)
+	if err := c.FailNode(victim); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := c.PlanRecover(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Unrecoverable()) > 0 {
+		t.Fatalf("unexpected unrecoverable: %v", plan.Unrecoverable())
+	}
+	if _, err := c.ExecuteRebalance(plan); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("degraded-but-recovered cluster should validate: %v", err)
+	}
+	if _, err := c.RecoverNode(victim); err != nil {
+		t.Fatal(err)
+	}
+	err = c.Validate()
+	t.Logf("Validate after readmit: %v", err)
+	if err != nil {
+		// Is there any API to fix it? PlanRecover demands a down node.
+		if _, perr := c.PlanRecover(victim); perr != nil {
+			t.Logf("PlanRecover on healthy node: %v", perr)
+		}
+		t.Fatalf("cluster permanently fails Validate after readmit: %v", err)
+	}
+}
