@@ -15,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/partition"
 	"repro/internal/query"
+	"repro/internal/transport"
 	"repro/internal/workload"
 )
 
@@ -70,7 +71,9 @@ func record(name string, r testing.BenchmarkResult) benchResult {
 // PR 5 splits the advisor probe into advise_rebuild_baseline (the
 // rebuild-per-call path, previously advise_plan) vs. advise_incremental
 // (the continuous advisor off the placement change feed), both on the
-// paper's 8-node testbed size.
+// paper's 8-node testbed size. PR 9 adds the transport probes — the TCP
+// counterparts of insert_chunks, scaleout_chunks and recover_node — plus a
+// one-shot measured-vs-predicted wire calibration (see addTransportProbes).
 func measureBench() (benchReport, error) {
 	c, chunks, err := benchfixture.ClusterAndChunks()
 	if err != nil {
@@ -91,7 +94,7 @@ func measureBench() (benchReport, error) {
 	}
 
 	report := benchReport{
-		Suite:     "ingest + query + elasticity hot path (PR 6: fault domains)",
+		Suite:     "ingest + query + elasticity hot path (PR 9: node transport)",
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
@@ -230,31 +233,129 @@ func measureBench() (benchReport, error) {
 	if err := addFaultProbes(&report, add); err != nil {
 		return benchReport{}, err
 	}
+	if err := addTransportProbes(&report, add); err != nil {
+		return benchReport{}, err
+	}
 
 	return report, nil
+}
+
+// addTransportProbes appends the PR 9 transport probes, each the TCP
+// counterpart of an existing in-process probe so the wire overhead is
+// directly readable from the report: rebalance_tcp_vs_loopback (ScaleOut(2)
+// on a loaded cluster over real sockets — compare scaleout_chunks, the
+// in-process shape), ingest_over_tcp (the fixture insert over sockets —
+// compare insert_chunks), and degraded_failover_tcp (the full kill-a-node
+// drill at R=2 over sockets — compare recover_node). It also runs the
+// calibration probe once: a TCP scale-out's measured wall clock and wire
+// bytes next to the plan's Eq 7 prediction, printed to stdout.
+func addTransportProbes(report *benchReport, add func(string, func(b *testing.B))) error {
+	chs := benchfixture.Chunks(benchfixture.NumChunks, benchfixture.CellsPerChunk)
+	freshTCP := func(b *testing.B, nodes, replication int) *cluster.Cluster {
+		b.Helper()
+		fresh, err := benchfixture.TransportCluster(nodes, replication, transport.NewTCP(transport.TCPOptions{}))
+		if err != nil {
+			b.Fatal(err)
+		}
+		return fresh
+	}
+	add("ingest_over_tcp", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			fresh := freshTCP(b, 4, 1)
+			b.StartTimer()
+			if _, err := fresh.Insert(chs); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			_ = fresh.Close()
+			b.StartTimer()
+		}
+	})
+	add("rebalance_tcp_vs_loopback", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			fresh := freshTCP(b, 2, 1)
+			if _, err := fresh.Insert(chs); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			if _, err := fresh.ScaleOut(2); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			_ = fresh.Close()
+			b.StartTimer()
+		}
+	})
+	add("degraded_failover_tcp", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			fresh := freshTCP(b, 4, 2)
+			if _, err := fresh.Insert(chs); err != nil {
+				b.Fatal(err)
+			}
+			var victim partition.NodeID
+			for _, id := range fresh.Nodes() {
+				if id != fresh.Coordinator() && len(fresh.NodeChunks(id)) > 0 {
+					victim = id
+					break
+				}
+			}
+			b.StartTimer()
+			if err := fresh.FailNode(victim); err != nil {
+				b.Fatal(err)
+			}
+			plan, err := fresh.PlanRecover(victim)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := fresh.ExecuteRebalance(plan); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := fresh.RecoverNode(victim); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			_ = fresh.Close()
+			b.StartTimer()
+		}
+	})
+	// Calibration: one measured TCP rebalance against its Eq 7 prediction.
+	// MeasuredWireBytes must equal the predicted effective wire volume (the
+	// payloads that moved are exactly the payloads the plan predicted);
+	// the wall-clock-per-simulated-second ratio is the substrate's scale
+	// factor, printed for the record rather than asserted (it is hardware-
+	// dependent).
+	cal, err := benchfixture.TransportCluster(2, 1, transport.NewTCP(transport.TCPOptions{}))
+	if err != nil {
+		return err
+	}
+	defer cal.Close()
+	if _, err := cal.Insert(chs); err != nil {
+		return err
+	}
+	res, err := cal.ScaleOut(2)
+	if err != nil {
+		return err
+	}
+	if res.MeasuredWireBytes != res.PredictedWireBytes {
+		return fmt.Errorf("transport calibration: measured wire bytes %d != predicted %d",
+			res.MeasuredWireBytes, res.PredictedWireBytes)
+	}
+	fmt.Printf("transport calibration: %d wire bytes as predicted (Eq 7), %d framed bytes on the socket; measured %v wall for %.3fs simulated (ratio %.2e)\n",
+		res.MeasuredWireBytes, res.FrameBytes, res.MeasuredDuration,
+		res.Reorg.Seconds(), res.MeasuredDuration.Seconds()/res.Reorg.Seconds())
+	return nil
 }
 
 // replicatedFixture builds the benchfixture cluster shape at replication
 // factor 2: same k-d geometry, capacity headroom for the second copies.
 func replicatedFixture(nodes int) (*cluster.Cluster, error) {
-	c, err := cluster.New(cluster.Config{
-		InitialNodes:      nodes,
-		NodeCapacity:      64 << 20,
-		ReplicationFactor: 2,
-		Partitioner: func(initial []partition.NodeID) (partition.Partitioner, error) {
-			return partition.NewKdTree(initial, partition.Geometry{
-				Extents:     []int64{36, 31, 16},
-				SpatialDims: []int{1, 2},
-			}, false)
-		},
-	})
-	if err != nil {
-		return nil, err
-	}
-	if err := c.DefineArray(benchfixture.Schema()); err != nil {
-		return nil, err
-	}
-	return c, nil
+	return benchfixture.TransportCluster(nodes, 2, nil)
 }
 
 // addFaultProbes appends the PR 6 fault-domain probes: replicated ingest

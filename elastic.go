@@ -84,6 +84,7 @@ import (
 	"repro/internal/partition"
 	"repro/internal/provision"
 	"repro/internal/query"
+	"repro/internal/transport"
 	"repro/internal/workload"
 )
 
@@ -131,7 +132,60 @@ type (
 	// FaultStore wraps a chunk store with programmable write faults —
 	// the chaos-testing hook behind the rebalance retry path.
 	FaultStore = cluster.FaultStore
+	// RebalanceResult reports a rebalance's predicted wire cost (Eq 7)
+	// next to what the transport actually measured.
+	RebalanceResult = cluster.RebalanceResult
 )
+
+// Transport types: the pluggable inter-node data plane (Config.Transport).
+type (
+	// Transport is the node-to-node data plane contract: chunk-batch
+	// push, chunk fetch, and holdings announcements.
+	Transport = transport.Transport
+	// Loopback is the in-process transport backend — the seam with
+	// pointer delivery and zero wire cost.
+	Loopback = transport.Loopback
+	// TCP is the socket transport backend: every node a served endpoint,
+	// chunk batches streamed over the ABAT codec with bounded memory.
+	TCP = transport.TCP
+	// TCPOptions tunes the TCP backend (listen address, ring and segment
+	// sizes).
+	TCPOptions = transport.TCPOptions
+	// FaultTransport wraps a transport with programmable faults —
+	// latency, dropped connections, torn streams — the wire-level
+	// counterpart of FaultStore.
+	FaultTransport = transport.FaultTransport
+	// Announcement is a node's self-reported holdings summary, delivered
+	// to the coordinator over the transport.
+	Announcement = transport.Announcement
+	// BatchKind labels what a pushed chunk batch is (ingest, rebalance,
+	// replica placement).
+	BatchKind = transport.BatchKind
+	// TransportStats counts a transport's pushes, fetches and bytes.
+	TransportStats = transport.Stats
+	// RemoteError is a remote handler's refusal of a request —
+	// non-transient, not retried.
+	RemoteError = transport.RemoteError
+)
+
+// NewLoopback returns the in-process transport backend.
+func NewLoopback() *Loopback { return transport.NewLoopback() }
+
+// NewTCP returns the socket transport backend.
+func NewTCP(opts TCPOptions) *TCP { return transport.NewTCP(opts) }
+
+// NewFaultTransport wraps a transport with programmable wire faults.
+func NewFaultTransport(inner Transport) *FaultTransport {
+	return transport.NewFaultTransport(inner)
+}
+
+// IsTransient reports whether a transport error is worth retrying
+// (dropped connection, torn stream) rather than a remote refusal.
+func IsTransient(err error) bool { return transport.IsTransient(err) }
+
+// ErrCorruptStream marks a chunk stream that failed to decode in flight;
+// transient, match with errors.Is.
+var ErrCorruptStream = transport.ErrCorruptStream
 
 // Placement change kinds published on the cluster's feed.
 const (

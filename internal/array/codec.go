@@ -110,8 +110,10 @@ func DecodeChunk(s *Schema, data []byte) (*Chunk, error) {
 
 // decodeChunkFrom reads one chunk payload off r — the shared body of the
 // single-chunk and batch decoders. It consumes exactly the chunk's bytes,
-// leaving r positioned at whatever follows.
-func decodeChunkFrom(r *bytes.Reader, s *Schema) (*Chunk, error) {
+// leaving r positioned at whatever follows. Any io.Reader works (the TCP
+// transport hands it a socket-backed segment stream); buffer-backed callers
+// do their own trailing-byte accounting.
+func decodeChunkFrom(r io.Reader, s *Schema) (*Chunk, error) {
 	rd := func(v interface{}) error {
 		return binary.Read(r, binary.LittleEndian, v)
 	}
@@ -205,29 +207,104 @@ func decodeChunkFrom(r *bytes.Reader, s *Schema) (*Chunk, error) {
 	return c, nil
 }
 
+// ChunkBatchWriter emits the "ABAT" chunk-batch framing one chunk at a
+// time into any io.Writer — the streaming counterpart of ChunkBatchReader.
+// A rebalance sender feeds it chunk by chunk, so peak encode memory is one
+// framed chunk (the writer's scratch buffer) plus whatever the destination
+// writer buffers, instead of the whole batch; pointed at a bounded pipe
+// (transport.Ring) the sender end of a migration runs in O(ring + one
+// chunk) no matter how large the batch is.
+//
+// The chunk count is declared up front (it leads the framing, exactly as
+// EncodeChunkBatch writes it); Close verifies every declared chunk was
+// written, so a short stream can never masquerade as a complete batch.
+type ChunkBatchWriter struct {
+	w       io.Writer
+	n       uint32 // declared batch size, from the header
+	written uint32 // chunks framed so far
+	buf     bytes.Buffer
+}
+
+// NewChunkBatchWriter writes the batch header for n chunks and returns a
+// writer positioned at the first chunk frame.
+func NewChunkBatchWriter(w io.Writer, n int) (*ChunkBatchWriter, error) {
+	if n < 0 || uint64(n) > 0xffffffff {
+		return nil, fmt.Errorf("array: batch of %d chunks out of range", n)
+	}
+	bw := &ChunkBatchWriter{w: w, n: uint32(n)}
+	_ = binary.Write(&bw.buf, binary.LittleEndian, uint32(batchMagic))
+	_ = binary.Write(&bw.buf, binary.LittleEndian, uint16(batchVersion))
+	_ = binary.Write(&bw.buf, binary.LittleEndian, uint32(n))
+	if err := bw.flush(); err != nil {
+		return nil, err
+	}
+	return bw, nil
+}
+
+// flush hands the scratch buffer to the destination writer and resets it.
+func (bw *ChunkBatchWriter) flush() error {
+	if _, err := bw.w.Write(bw.buf.Bytes()); err != nil {
+		return err
+	}
+	bw.buf.Reset()
+	return nil
+}
+
+// Write frames one chunk — name length, name, "ACNK" payload — and flushes
+// it to the destination writer.
+func (bw *ChunkBatchWriter) Write(c *Chunk) error {
+	if bw.written == bw.n {
+		return fmt.Errorf("array: batch writer declared %d chunks, got more", bw.n)
+	}
+	name := c.Schema.Name
+	if len(name) > 0xffff {
+		return fmt.Errorf("array: array name too long (%d bytes)", len(name))
+	}
+	bw.buf.Reset()
+	_ = binary.Write(&bw.buf, binary.LittleEndian, uint16(len(name)))
+	bw.buf.WriteString(name)
+	if err := encodeChunkInto(&bw.buf, c); err != nil {
+		return err
+	}
+	if err := bw.flush(); err != nil {
+		return err
+	}
+	bw.written++
+	return nil
+}
+
+// Written returns how many chunks have been framed so far.
+func (bw *ChunkBatchWriter) Written() int { return int(bw.written) }
+
+// Close verifies the declared chunk count was delivered. It does not close
+// the destination writer.
+func (bw *ChunkBatchWriter) Close() error {
+	if bw.written != bw.n {
+		return fmt.Errorf("array: batch writer declared %d chunks, wrote %d", bw.n, bw.written)
+	}
+	return nil
+}
+
 // EncodeChunkBatch serialises several chunks — a rebalance receiver's whole
 // batch — into one wire message. Unlike EncodeChunk the array name travels
 // in band per chunk, because one migration batch may mix arrays; the
 // payloads land in one contiguous buffer, which is what makes the batched
-// round-trip cheaper than len(chunks) single-chunk trips.
+// round-trip cheaper than len(chunks) single-chunk trips. It is the
+// buffer-backed convenience over ChunkBatchWriter, byte-identical to
+// streaming the same chunks.
 func EncodeChunkBatch(chunks []*Chunk) ([]byte, error) {
 	var b bytes.Buffer
-	w := func(v interface{}) {
-		_ = binary.Write(&b, binary.LittleEndian, v)
+	bw, err := NewChunkBatchWriter(&b, len(chunks))
+	if err != nil {
+		return nil, err
 	}
-	w(uint32(batchMagic))
-	w(uint16(batchVersion))
-	w(uint32(len(chunks)))
 	for _, c := range chunks {
-		name := c.Schema.Name
-		if len(name) > 0xffff {
-			return nil, fmt.Errorf("array: array name too long (%d bytes)", len(name))
-		}
-		w(uint16(len(name)))
-		b.WriteString(name)
-		if err := encodeChunkInto(&b, c); err != nil {
+		if err := bw.Write(c); err != nil {
 			return nil, err
 		}
+	}
+	if err := bw.Close(); err != nil {
+		return nil, err
 	}
 	return b.Bytes(), nil
 }
@@ -238,7 +315,8 @@ func EncodeChunkBatch(chunks []*Chunk) ([]byte, error) {
 // materialises, so peak memory for a large migration batch is one decoded
 // chunk plus the wire buffer instead of the whole batch twice.
 type ChunkBatchReader struct {
-	r       *bytes.Reader
+	r       io.Reader
+	rem     func() int // trailing-byte check for buffer-backed batches; nil for streams
 	lookup  func(name string) (*Schema, bool)
 	n       uint32 // chunks in the batch, from the header
 	decoded uint32 // chunks handed out so far
@@ -250,6 +328,24 @@ type ChunkBatchReader struct {
 // the reader is drained.
 func NewChunkBatchReader(lookup func(name string) (*Schema, bool), data []byte) (*ChunkBatchReader, error) {
 	r := bytes.NewReader(data)
+	d, err := NewChunkBatchStream(lookup, r)
+	if err != nil {
+		return nil, err
+	}
+	// A buffer-backed batch knows its exact extent, so Next can reject
+	// trailing garbage after the final chunk; a socket stream cannot (its
+	// framing ends where the transport says it does).
+	d.rem = r.Len
+	return d, nil
+}
+
+// NewChunkBatchStream validates the batch framing at the head of r and
+// returns a reader that decodes chunk frames directly off the stream — the
+// receive half of a transport push, where the batch arrives over a socket
+// and never materialises as one contiguous buffer. Unlike the buffer-backed
+// constructor it cannot detect bytes trailing the final chunk; the caller's
+// framing bounds the stream.
+func NewChunkBatchStream(lookup func(name string) (*Schema, bool), r io.Reader) (*ChunkBatchReader, error) {
 	rd := func(v interface{}) error {
 		return binary.Read(r, binary.LittleEndian, v)
 	}
@@ -279,8 +375,8 @@ func (d *ChunkBatchReader) Remaining() int { return int(d.n - d.decoded) }
 // error means the batch is corrupt; the reader is then unusable.
 func (d *ChunkBatchReader) Next() (*Chunk, error) {
 	if d.decoded == d.n {
-		if d.r.Len() != 0 {
-			return nil, fmt.Errorf("array: %d trailing bytes after chunk batch", d.r.Len())
+		if d.rem != nil && d.rem() != 0 {
+			return nil, fmt.Errorf("array: %d trailing bytes after chunk batch", d.rem())
 		}
 		return nil, io.EOF
 	}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/array"
 	"repro/internal/cluster"
 	"repro/internal/partition"
+	"repro/internal/transport"
 )
 
 // NumChunks and CellsPerChunk size the benchmark chunk set.
@@ -33,9 +34,22 @@ func Schema() *array.Schema {
 
 // Cluster builds the benchmark cluster with the band schema defined.
 func Cluster(nodes int) (*cluster.Cluster, error) {
+	return TransportCluster(nodes, 1, nil)
+}
+
+// TransportCluster builds the benchmark cluster shape with a node
+// transport and replication factor — the transport-probe variant. A nil
+// transport and replication <= 1 reproduce Cluster exactly. Callers owning
+// a transport-backed cluster should Close it when done.
+func TransportCluster(nodes, replication int, tr transport.Transport) (*cluster.Cluster, error) {
+	if replication < 1 {
+		replication = 1
+	}
 	c, err := cluster.New(cluster.Config{
-		InitialNodes: nodes,
-		NodeCapacity: 64 << 20,
+		InitialNodes:      nodes,
+		NodeCapacity:      64 << 20,
+		ReplicationFactor: replication,
+		Transport:         tr,
 		Partitioner: func(initial []partition.NodeID) (partition.Partitioner, error) {
 			return partition.NewKdTree(initial, partition.Geometry{
 				Extents:     []int64{36, 31, 16},
@@ -47,6 +61,7 @@ func Cluster(nodes int) (*cluster.Cluster, error) {
 		return nil, err
 	}
 	if err := c.DefineArray(Schema()); err != nil {
+		_ = c.Close()
 		return nil, err
 	}
 	return c, nil

@@ -11,6 +11,7 @@ import (
 	"repro/internal/array"
 	"repro/internal/partition"
 	"repro/internal/stats"
+	"repro/internal/transport"
 )
 
 // PartitionerFactory builds the cluster's placement scheme once the initial
@@ -116,6 +117,18 @@ type Cluster struct {
 	// healthy node against. Mutated and read under admin exclusive.
 	repChunks []*array.Chunk
 	repKeys   map[array.ChunkKey]bool
+
+	// transport, when non-nil, is the node transport every inter-node
+	// data path routes through: ingest writes, rebalance receiver
+	// batches, replica copies, query-layer chunk pulls and holdings
+	// announcements. nil (the default) keeps the original fully
+	// in-process code paths, byte-for-byte.
+	transport transport.Transport
+	// annMu guards announcements, the coordinator-side registry of each
+	// node's latest self-reported holdings (a leaf lock: announcements
+	// arrive from handler callbacks while admin is held).
+	annMu         sync.Mutex
+	announcements map[partition.NodeID]transport.Announcement
 }
 
 // newStore builds the chunk store for a node per the cluster's storage
@@ -167,6 +180,14 @@ type Config struct {
 	// TransferBackoff is the base delay between those attempts, doubling
 	// per retry (0 = default 500µs).
 	TransferBackoff time.Duration
+	// Transport, when non-nil, routes every inter-node data path —
+	// ingest writes, rebalance receiver batches, replica copies, query
+	// chunk pulls — through the given node transport (transport.Loopback
+	// for an in-process seam, transport.TCP for real sockets,
+	// transport.FaultTransport for chaos). Every node is served on it at
+	// construction; call Close when done. nil keeps the original
+	// in-process code paths with zero overhead.
+	Transport transport.Transport
 }
 
 // New assembles and validates a cluster.
@@ -222,6 +243,8 @@ func New(cfg Config) (*Cluster, error) {
 		transferRetries: retries,
 		transferBackoff: backoff,
 		repKeys:         make(map[array.ChunkKey]bool),
+		transport:       cfg.Transport,
+		announcements:   make(map[partition.NodeID]transport.Announcement),
 	}
 	c.parallelism.Store(int32(cfg.Parallelism))
 	var initial []partition.NodeID
@@ -241,6 +264,12 @@ func New(cfg Config) (*Cluster, error) {
 		return nil, fmt.Errorf("cluster: building partitioner: %w", err)
 	}
 	c.part = p
+	for _, id := range initial {
+		if err := c.serveNode(id); err != nil {
+			_ = c.Close()
+			return nil, err
+		}
+	}
 	return c, nil
 }
 
@@ -401,12 +430,23 @@ func (c *Cluster) ReplicateArray(s *array.Schema, chunks []*array.Chunk) (Durati
 
 // --- scale-out -------------------------------------------------------------
 
-// ScaleOutResult reports what a cluster expansion did.
+// ScaleOutResult reports what a cluster expansion did, including the
+// measured transfer next to the Eq 7 prediction.
 type ScaleOutResult struct {
 	Added      []partition.NodeID
 	Moves      int
 	MovedBytes int64
 	Reorg      Duration
+	// PredictedWireBytes is the plan-time Eq 7 effective wire volume;
+	// MeasuredWireBytes is the same fold over what execution actually
+	// shipped (equal unless the replica set changed in between).
+	PredictedWireBytes int64
+	MeasuredWireBytes  int64
+	// FrameBytes is the transport-reported wire volume — framing and
+	// retries included, zero for a fully in-process cluster — and
+	// MeasuredDuration the execution's wall clock.
+	FrameBytes       int64
+	MeasuredDuration time.Duration
 }
 
 // ScaleOut provisions k new nodes, lets the partitioner revise its table,
@@ -437,6 +477,11 @@ func (c *Cluster) ScaleOut(k int) (ScaleOutResult, error) {
 	res.Moves = plan.NumMoves()
 	res.MovedBytes = plan.Bytes()
 	res.Reorg = reorg
+	r := plan.Result()
+	res.PredictedWireBytes = r.PredictedWireBytes
+	res.MeasuredWireBytes = r.MeasuredWireBytes
+	res.FrameBytes = r.FrameBytes
+	res.MeasuredDuration = r.MeasuredDuration
 	return res, nil
 }
 

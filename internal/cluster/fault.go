@@ -1,18 +1,19 @@
 package cluster
 
 import (
-	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
 
 	"repro/internal/array"
+	"repro/internal/transport"
 )
 
 // ErrInjected is the sentinel wrapped by every failure a FaultStore
 // injects, so tests can assert a fault was synthetic (errors.Is) rather
-// than a real store defect.
-var ErrInjected = errors.New("injected store fault")
+// than a real store defect. It is the same sentinel the transport layer's
+// FaultTransport wraps, so one errors.Is covers both fault domains.
+var ErrInjected = transport.ErrInjected
 
 // FaultStore wraps a ChunkStore with programmable write faults, the
 // fixture fault-tolerance tests and benchmarks share: fail the next N puts,

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/array"
 	"repro/internal/partition"
+	"repro/internal/transport"
 )
 
 // Failure lifecycle: FailNode marks a node Down, RecoverNode readmits it.
@@ -59,6 +60,9 @@ func (c *Cluster) FailNode(id partition.NodeID) error {
 	// destinations may include the dead node.
 	c.epoch.Add(1)
 	c.publishPlacement(events)
+	// The survivors report their holdings so the coordinator's announced
+	// view reflects the new health map.
+	c.announceAll()
 	return nil
 }
 
@@ -66,10 +70,12 @@ func (c *Cluster) FailNode(id partition.NodeID) error {
 // returning node holds that the catalog no longer credits to it is
 // discarded (a chunk re-owned by PlanRecover while it was away), missing
 // replicated-array chunks are backfilled, and secondary copies it is no
-// longer assigned are dropped. Re-assigning the node its share of secondary
-// copies is a placement decision, left to a subsequent rebalance. The
-// still-owned primaries it returns with are re-announced on the placement
-// feed. The charge is the network time of the replicated-array backfill.
+// longer assigned are dropped. Primaries left short of secondaries by a
+// clamped degraded recovery are re-replicated now that the replication
+// budget is wide enough again — no later plan revisits them, because
+// PlanRecover demands a down node. The still-owned primaries the node
+// returns with are re-announced on the placement feed. The charge is the
+// network time of the replicated-array backfill plus the re-replication.
 func (c *Cluster) RecoverNode(id partition.NodeID) (Duration, error) {
 	c.admin.Lock()
 	defer c.admin.Unlock()
@@ -120,9 +126,74 @@ func (c *Cluster) RecoverNode(id partition.NodeID) (Duration, error) {
 	}
 	node.setHealth(NodeHealthy)
 	c.downCount.Add(-1)
+	// Re-replicate primaries the clamped degraded recovery left short of
+	// secondaries: with the node back, requiredSecondaries widens again,
+	// and the readmitted node is typically the rendezvous choice. Repairs
+	// already landed stand if a later copy fails — each is a strict
+	// improvement on its own.
+	if want := c.requiredSecondaries(); want > 0 {
+		healthy := c.healthyNodes()
+		var refs []array.ChunkRef
+		c.owner.Each(func(key array.ChunkKey, _ partition.NodeID) {
+			refs = append(refs, key.Ref())
+		})
+		sort.Slice(refs, func(i, j int) bool { return refs[i].Packed().Less(refs[j].Packed()) })
+		for _, ref := range refs {
+			key := ref.Packed()
+			if c.repKeys[key] {
+				continue // replicated arrays are restored by the backfill above
+			}
+			owner, ok := c.owner.Get(key)
+			if !ok || c.nodes[owner].Health() == NodeDown {
+				continue
+			}
+			have := c.owner.Replicas(key)
+			if len(have) >= want {
+				continue
+			}
+			primary, _ := c.nodes[owner].get(ref)
+			if primary == nil {
+				continue // reserved by an outstanding ingest plan; nothing to copy yet
+			}
+			fill := partition.ReplicaNodes(key, owner, healthy, have, want-len(have))
+			if len(fill) == 0 {
+				continue
+			}
+			if err := c.deliverReplicaCopies(owner, fill, primary); err != nil {
+				return 0, fmt.Errorf("cluster: RecoverNode(%d): re-replicating %s: %w", id, ref, err)
+			}
+			reps := append(append([]partition.NodeID(nil), have...), fill...)
+			sort.Slice(reps, func(i, j int) bool { return reps[i] < reps[j] })
+			c.owner.SetReplicas(key, reps)
+			backfill += primary.SizeBytes() * int64(len(fill))
+		}
+	}
 	c.epoch.Add(1)
 	c.publishPlacement(events)
+	c.announceAll()
 	return c.cost.NetTime(backfill), nil
+}
+
+// deliverReplicaCopies lands one secondary copy of ch on each node in
+// dests, over the transport when one is configured, unwinding the copies
+// already delivered if a later one fails. The caller updates the catalog
+// only after every copy landed.
+func (c *Cluster) deliverReplicaCopies(from partition.NodeID, dests []partition.NodeID, ch *array.Chunk) error {
+	for i, d := range dests {
+		var err error
+		if c.transport != nil {
+			_, err = c.pushWithRetry(from, d, transport.KindReplica, []*array.Chunk{ch})
+		} else {
+			c.nodes[d].putReplica(ch)
+		}
+		if err != nil {
+			for _, u := range dests[:i] {
+				c.nodes[u].takeReplica(ch.Key())
+			}
+			return err
+		}
+	}
+	return nil
 }
 
 // Degraded reports whether any node is Down — one atomic load, the gate

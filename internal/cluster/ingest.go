@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/array"
 	"repro/internal/partition"
+	"repro/internal/transport"
 )
 
 // IngestPlan is a validated batch placement, ready to execute: every chunk
@@ -321,14 +322,25 @@ func (c *Cluster) executePlan(plan *IngestPlan) (Duration, error) {
 		return 0, err
 	}
 	if plan.repDests != nil {
-		// Secondary copies commit after the primary writes succeeded: a
-		// rolled-back batch leaves no replica state behind. In-memory
-		// replica placement is infallible, so the batch stays atomic.
-		for i, ch := range plan.chunks {
-			for _, r := range plan.repDests[i] {
-				c.nodes[r].putReplica(ch)
+		if c.transport != nil {
+			// Over a transport the secondary copies are fallible pushes;
+			// a persistent failure rolls the whole batch back — primaries,
+			// replicas and catalog — keeping ingest atomic.
+			if err := c.pushPlanReplicas(plan); err != nil {
+				c.rollbackWrites(plan, func(int) bool { return true })
+				c.pendingPlans.Add(-1)
+				return 0, err
 			}
-			c.owner.SetReplicas(ch.Key(), plan.repDests[i])
+		} else {
+			// Secondary copies commit after the primary writes succeeded: a
+			// rolled-back batch leaves no replica state behind. In-memory
+			// replica placement is infallible, so the batch stays atomic.
+			for i, ch := range plan.chunks {
+				for _, r := range plan.repDests[i] {
+					c.nodes[r].putReplica(ch)
+				}
+				c.owner.SetReplicas(ch.Key(), plan.repDests[i])
+			}
 		}
 	}
 	c.inserted.Add(int64(len(plan.chunks)))
@@ -352,6 +364,9 @@ func (c *Cluster) executePlan(plan *IngestPlan) (Duration, error) {
 // back — stores and catalog — so a failed batch leaves the cluster exactly
 // as it was.
 func (c *Cluster) writePlan(plan *IngestPlan) error {
+	if c.transport != nil {
+		return c.writePlanTransport(plan)
+	}
 	if len(plan.destList) <= 1 || len(plan.chunks) < parallelIngestThreshold || runtime.GOMAXPROCS(0) == 1 {
 		for i, ch := range plan.chunks {
 			if err := c.nodes[plan.dests[i]].put(ch); err != nil {
@@ -405,6 +420,67 @@ func (c *Cluster) writePlan(plan *IngestPlan) error {
 			return false
 		})
 		return errs[gi]
+	}
+	return nil
+}
+
+// writePlanTransport is writePlan's wire path: the coordinator streams one
+// KindIngest batch per destination node over the cluster transport, each
+// push retried against transient faults. Delivery is receiver-atomic, so a
+// failed destination contributed nothing; the destinations that did commit
+// are unwound, leaving the cluster exactly as it was.
+func (c *Cluster) writePlanTransport(plan *IngestPlan) error {
+	coord := c.Coordinator()
+	batch := make([]*array.Chunk, 0, len(plan.chunks))
+	for di, id := range plan.destList {
+		batch = batch[:0]
+		for i, dest := range plan.dests {
+			if dest == id {
+				batch = append(batch, plan.chunks[i])
+			}
+		}
+		if _, err := c.pushWithRetry(coord, id, transport.KindIngest, batch); err != nil {
+			// Unwind the destinations delivered before this one and drop
+			// the batch's catalog reservations.
+			deliveredTo := plan.destList[:di]
+			c.rollbackWrites(plan, func(j int) bool {
+				return slices.Contains(deliveredTo, plan.dests[j])
+			})
+			return fmt.Errorf("cluster: ingest batch for node %d: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// pushPlanReplicas ships an ingest plan's secondary copies as one
+// KindReplica batch per replica destination. The catalog's replica sets
+// commit only after every push lands; on a persistent failure the
+// already-delivered replica payloads are taken back and the error returned
+// for the caller's primary rollback.
+func (c *Cluster) pushPlanReplicas(plan *IngestPlan) error {
+	coord := c.Coordinator()
+	byDest := make(map[partition.NodeID][]*array.Chunk)
+	var destOrder []partition.NodeID
+	for i, ch := range plan.chunks {
+		for _, r := range plan.repDests[i] {
+			if _, seen := byDest[r]; !seen {
+				destOrder = append(destOrder, r)
+			}
+			byDest[r] = append(byDest[r], ch)
+		}
+	}
+	for di, id := range destOrder {
+		if _, err := c.pushWithRetry(coord, id, transport.KindReplica, byDest[id]); err != nil {
+			for _, prev := range destOrder[:di] {
+				for _, ch := range byDest[prev] {
+					c.nodes[prev].takeReplica(ch.Key())
+				}
+			}
+			return fmt.Errorf("cluster: replica batch for node %d: %w", id, err)
+		}
+	}
+	for i, ch := range plan.chunks {
+		c.owner.SetReplicas(ch.Key(), plan.repDests[i])
 	}
 	return nil
 }

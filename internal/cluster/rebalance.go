@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/array"
 	"repro/internal/partition"
+	"repro/internal/transport"
 )
 
 // RebalancePlan is a validated set of chunk relocations, ready to execute:
@@ -55,8 +56,57 @@ type RebalancePlan struct {
 	repBytes   int64 // replica payload copied to added nodes (scale-out)
 	maxRecv    int64 // busiest receiver's volume, replicas included
 
+	// Measured execution outcome (populated by executeRebalance):
+	// measuredWire is the Eq 7 fold over the volumes actually shipped —
+	// equal to WireBytes() when the replica set did not change between
+	// planning and execution — frameBytes is what the transport reports
+	// crossed the wire (framing and retried attempts included, 0 for a
+	// transportless cluster), and measuredDur is the execution's wall
+	// clock.
+	measuredWire int64
+	frameBytes   int64
+	measuredDur  time.Duration
+
 	// state: 0 = planned, 1 = executed, 2 = discarded (IngestPlan's codes).
 	state atomic.Int32
+}
+
+// RebalanceResult reports what an executed rebalance plan actually did,
+// with the measured transfer placed next to the Eq 7 prediction so cost
+// model calibration can compare the two directly.
+type RebalanceResult struct {
+	// Moves and MovedBytes restate the plan's relocation volume.
+	Moves      int
+	MovedBytes int64
+	// PredictedWireBytes/PredictedDuration are the plan-time Eq 7
+	// quantities (WireBytes / PredictedDuration).
+	PredictedWireBytes int64
+	PredictedDuration  Duration
+	// MeasuredWireBytes is the Eq 7 fold over the volumes execution
+	// actually shipped — equal to PredictedWireBytes unless the replica
+	// set changed between planning and execution.
+	MeasuredWireBytes int64
+	// FrameBytes is the transport-reported volume that crossed the wire:
+	// codec framing, protocol headers and retried attempts included.
+	// Zero for a transportless (fully in-process) cluster.
+	FrameBytes int64
+	// MeasuredDuration is the execution's wall-clock time — real seconds
+	// next to PredictedDuration's simulated seconds.
+	MeasuredDuration time.Duration
+}
+
+// Result reports the plan's predicted-vs-measured transfer. The measured
+// fields are zero until the plan has executed.
+func (p *RebalancePlan) Result() RebalanceResult {
+	return RebalanceResult{
+		Moves:              len(p.moves),
+		MovedBytes:         p.totalBytes,
+		PredictedWireBytes: p.WireBytes(),
+		PredictedDuration:  p.PredictedDuration(),
+		MeasuredWireBytes:  p.measuredWire,
+		FrameBytes:         p.frameBytes,
+		MeasuredDuration:   p.measuredDur,
+	}
 }
 
 // recoverOp restores one chunk's redundancy after a node failure: promote a
@@ -235,6 +285,15 @@ func (c *Cluster) planScaleOut(k int) (*RebalancePlan, error) {
 	// Deliberately after the fallible section — a rejected scale-out
 	// leaves plans valid.
 	c.epoch.Add(1)
+	// The new nodes join the transport so the migration (and everything
+	// after) can reach them. A serve failure aborts the plan: the topology
+	// stands (monotonic growth) but the migration is not attempted against
+	// unreachable endpoints.
+	for _, id := range added {
+		if err := c.serveNode(id); err != nil {
+			return nil, err
+		}
+	}
 	plan, err := c.buildRebalancePlan(moves, added)
 	if err != nil {
 		// The partitioner's moves come from the catalog via State, so
@@ -378,10 +437,12 @@ func (c *Cluster) PlanRecover(id partition.NodeID) (*RebalancePlan, error) {
 }
 
 // executeRecoveries applies a plan's recovery ops: promote surviving
-// secondaries into primaries and ship re-replication fills. On a store
-// write failure every completed op is undone, keeping execution atomic.
-// Caller holds admin exclusive.
-func (c *Cluster) executeRecoveries(plan *RebalancePlan) error {
+// secondaries into primaries and ship re-replication fills (as
+// KindReplica pushes from the surviving host when the cluster has a
+// transport, frame bytes accumulated into *frames). On a store write or
+// persistent push failure every completed op is undone, keeping execution
+// atomic. Caller holds admin exclusive.
+func (c *Cluster) executeRecoveries(plan *RebalancePlan, frames *int64) error {
 	rollback := func(done int) {
 		for i := done - 1; i >= 0; i-- {
 			op := plan.recovers[i]
@@ -422,8 +483,31 @@ func (c *Cluster) executeRecoveries(plan *RebalancePlan) error {
 				return fmt.Errorf("cluster: re-replication of %s: primary vanished from node %d", op.ref, op.host)
 			}
 		}
-		for _, f := range op.fill {
-			c.nodes[f].putReplica(payload)
+		if c.transport != nil {
+			for fi, f := range op.fill {
+				wire, err := c.pushWithRetry(op.host, f, transport.KindReplica, []*array.Chunk{payload})
+				*frames += wire
+				if err == nil {
+					continue
+				}
+				// Undo this op's delivered fills and its promotion, then
+				// the completed ops before it.
+				for _, prev := range op.fill[:fi] {
+					c.nodes[prev].takeReplica(key)
+				}
+				if op.promote {
+					if ch, terr := host.take(op.ref); terr == nil {
+						host.putReplica(ch)
+					}
+					c.owner.Set(key, op.oldOwner)
+				}
+				rollback(i)
+				return fmt.Errorf("cluster: re-replication fill of %s onto node %d: %w", op.ref, f, err)
+			}
+		} else {
+			for _, f := range op.fill {
+				c.nodes[f].putReplica(payload)
+			}
 		}
 		c.owner.SetReplicas(key, op.reps)
 	}
@@ -600,32 +684,69 @@ func (c *Cluster) executeRebalance(plan *RebalancePlan) (Duration, error) {
 	if !plan.state.CompareAndSwap(planStatePlanned, planStateExecuted) {
 		return 0, fmt.Errorf("cluster: rebalance plan already executed or discarded")
 	}
+	start := time.Now()
 	if len(plan.moves) > 0 || len(plan.recovers) > 0 {
 		// Placement moves under any outstanding ingest plan: stale it.
 		// (Ahead of execution on purpose — conservative on failure.)
 		c.epoch.Add(1)
 	}
-	if err := c.shipReceiverBatches(plan); err != nil {
-		c.pendingRebalances.Add(-1)
-		return 0, err
-	}
-	if err := c.executeRecoveries(plan); err != nil {
-		c.pendingRebalances.Add(-1)
-		return 0, err
-	}
+	// frames accumulates what the transport reports actually crossed the
+	// wire (0 throughout for a transportless cluster).
+	var frames int64
 	// Replicated arrays must exist on nodes provisioned by the plan
 	// (copied from the authoritative registry, not a node's replica map,
 	// which also holds R>=2 secondaries the new nodes must not inherit).
+	// Shipped before the moves: the copies touch only the empty new nodes'
+	// replica maps, so a later shipment failure can unwind them without
+	// disturbing anything committed.
 	recvExtra := make(map[partition.NodeID]int64)
 	var repBytes int64
-	if len(plan.added) > 0 {
+	undoAddedCopies := func() {
+		for _, id := range plan.added {
+			for _, rep := range c.repChunks {
+				c.nodes[id].takeReplica(rep.Key())
+			}
+		}
+	}
+	if len(plan.added) > 0 && len(c.repChunks) > 0 {
+		if c.transport != nil {
+			coord := c.Coordinator()
+			for ai, id := range plan.added {
+				wire, err := c.pushWithRetry(coord, id, transport.KindReplica, c.repChunks)
+				frames += wire
+				if err != nil {
+					for _, prev := range plan.added[:ai] {
+						for _, rep := range c.repChunks {
+							c.nodes[prev].takeReplica(rep.Key())
+						}
+					}
+					c.pendingRebalances.Add(-1)
+					return 0, fmt.Errorf("cluster: replicated-array copy to node %d: %w", id, err)
+				}
+			}
+		} else {
+			for _, rep := range c.repChunks {
+				for _, id := range plan.added {
+					c.nodes[id].putReplica(rep)
+				}
+			}
+		}
 		for _, rep := range c.repChunks {
 			for _, id := range plan.added {
-				c.nodes[id].putReplica(rep)
 				recvExtra[id] += rep.SizeBytes()
 			}
 			repBytes += rep.SizeBytes() * int64(len(plan.added))
 		}
+	}
+	if err := c.shipReceiverBatches(plan, &frames); err != nil {
+		undoAddedCopies()
+		c.pendingRebalances.Add(-1)
+		return 0, err
+	}
+	if err := c.executeRecoveries(plan, &frames); err != nil {
+		undoAddedCopies()
+		c.pendingRebalances.Add(-1)
+		return 0, err
 	}
 	// Re-replication fills shipped by the recovery ops above.
 	for _, op := range plan.recovers {
@@ -674,6 +795,13 @@ func (c *Cluster) executeRebalance(plan *RebalancePlan) (Duration, error) {
 			maxRecv = b
 		}
 	}
+	// Measured outcome: the same Eq 7 fold the charge below uses (so the
+	// measured wire bytes equal WireBytes() whenever the replica set held),
+	// the transport's frame count, and the wall clock.
+	plan.measuredWire = c.rebalanceWire(plan.totalBytes, repBytes, maxRecv)
+	plan.frameBytes = frames
+	plan.measuredDur = time.Since(start)
+	c.announceAll()
 	return c.rebalanceCharge(plan.totalBytes, repBytes, maxRecv, len(plan.added) > 0), nil
 }
 
@@ -685,14 +813,18 @@ const parallelRebalanceThreshold = 8
 // one batched encode, one batched decode at the receiver, put and
 // recatalog. Groups ship in parallel when the plan is wide enough, and
 // receiver store writes retry transient faults (putWithRetry) before the
-// fault is treated as permanent. On any persistent error the whole plan
-// rolls back — every taken or delivered chunk returns to its source and
-// the catalog is restored — so a failed rebalance leaves the cluster
-// exactly as it was.
-func (c *Cluster) shipReceiverBatches(plan *RebalancePlan) error {
+// fault is treated as permanent. With a cluster transport the batch
+// travels as one streaming KindRebalance push instead — receiver-atomic,
+// retried whole against transient wire faults (pushWithRetry), with the
+// frame bytes that crossed the wire accumulated into *frames. On any
+// persistent error the whole plan rolls back — every taken or delivered
+// chunk returns to its source and the catalog is restored — so a failed
+// rebalance leaves the cluster exactly as it was.
+func (c *Cluster) shipReceiverBatches(plan *RebalancePlan, frames *int64) error {
 	type progress struct {
 		taken []*array.Chunk // originals taken from sources, prefix of group.idx
 		put   int            // decoded chunks delivered to the receiver
+		wire  int64          // transport frame bytes, failed attempts included
 		err   error
 	}
 	progs := make([]progress, len(plan.groups))
@@ -708,6 +840,22 @@ func (c *Cluster) shipReceiverBatches(plan *RebalancePlan) error {
 				return
 			}
 			p.taken = append(p.taken, ch)
+		}
+		if c.transport != nil {
+			// One streaming push carries the whole batch; the receiver's
+			// Deliver stores chunk-at-a-time and unwinds on any fault, so
+			// success means every chunk landed and failure means none did.
+			wire, err := c.pushWithRetry(c.Coordinator(), g.node, transport.KindRebalance, p.taken)
+			p.wire = wire
+			if err != nil {
+				p.err = fmt.Errorf("cluster: batch for node %d: %w", g.node, err)
+				return
+			}
+			p.put = len(g.idx)
+			for _, i := range g.idx {
+				c.owner.Set(plan.moves[i].Ref.Packed(), g.node)
+			}
+			return
 		}
 		// The batched codec round-trip stands in for the wire, exactly as
 		// the per-chunk trip did: real serialized bytes, one message per
@@ -785,6 +933,9 @@ func (c *Cluster) shipReceiverBatches(plan *RebalancePlan) error {
 			}
 		}
 		return progs[gi].err
+	}
+	for gi := range progs {
+		*frames += progs[gi].wire
 	}
 	return nil
 }

@@ -1,0 +1,211 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/array"
+	"repro/internal/partition"
+	"repro/internal/transport"
+)
+
+// nodeService is one node's transport endpoint: the receiver half of every
+// data path the cluster routes over the wire. Its Deliver is
+// receiver-atomic — a batch commits all-or-nothing, unwinding any stored
+// prefix on a torn stream or a store fault — which is what makes the
+// sender's whole-batch retry (pushWithRetry) safe: a failed push is
+// guaranteed to have left nothing behind.
+type nodeService struct {
+	c    *Cluster
+	node *Node
+}
+
+// Deliver implements transport.Handler. Ingest and rebalance batches go to
+// the partitioned store (rebalance writes absorb transient store faults via
+// putWithRetry, mirroring the in-process path); replica batches go to the
+// node's replica map. Chunks are consumed one at a time off the stream, so
+// a socket-backed delivery holds O(one chunk) beyond the receiver's ring.
+func (s *nodeService) Deliver(from partition.NodeID, kind transport.BatchKind, n int, next func() (*array.Chunk, error)) error {
+	switch kind {
+	case transport.KindIngest, transport.KindRebalance:
+		delivered := make([]array.ChunkRef, 0, n)
+		unwind := func() {
+			for _, ref := range delivered {
+				_, _ = s.node.take(ref)
+			}
+		}
+		for i := 0; i < n; i++ {
+			ch, err := next()
+			if err != nil {
+				unwind()
+				return err
+			}
+			if kind == transport.KindRebalance {
+				err = s.c.putWithRetry(s.node, ch)
+			} else {
+				err = s.node.put(ch)
+			}
+			if err != nil {
+				unwind()
+				return err
+			}
+			delivered = append(delivered, ch.Ref())
+		}
+		return nil
+	case transport.KindReplica:
+		// Replica placement may overwrite an existing copy, so stage the
+		// whole batch before committing: a torn stream must not have
+		// half-replaced anything.
+		staged := make([]*array.Chunk, 0, n)
+		for i := 0; i < n; i++ {
+			ch, err := next()
+			if err != nil {
+				return err
+			}
+			staged = append(staged, ch)
+		}
+		for _, ch := range staged {
+			s.node.putReplica(ch)
+		}
+		return nil
+	}
+	return fmt.Errorf("cluster: node %d: unknown batch kind %d", s.node.ID, kind)
+}
+
+// Fetch implements transport.Handler: the primary store first, the replica
+// map second — the same serving order the query layer's failover uses.
+func (s *nodeService) Fetch(ref array.ChunkRef) (*array.Chunk, error) {
+	if ch, ok := s.node.get(ref); ok {
+		return ch, nil
+	}
+	if ch, ok := s.node.Replica(ref); ok {
+		return ch, nil
+	}
+	return nil, fmt.Errorf("cluster: node %d does not hold %s", s.node.ID, ref)
+}
+
+// Announce implements transport.Handler: record the sender's self-reported
+// holdings in the coordinator-side registry.
+func (s *nodeService) Announce(from partition.NodeID, a transport.Announcement) error {
+	s.c.recordAnnouncement(a)
+	return nil
+}
+
+// Schema implements transport.Handler, resolving decode schemas from the
+// cluster registry (safe concurrently with DefineArray).
+func (s *nodeService) Schema(name string) (*array.Schema, bool) {
+	return s.c.Schema(name)
+}
+
+// serveNode registers a node's endpoint with the cluster transport.
+// No-op without one.
+func (c *Cluster) serveNode(id partition.NodeID) error {
+	if c.transport == nil {
+		return nil
+	}
+	return c.transport.Serve(id, &nodeService{c: c, node: c.nodes[id]})
+}
+
+// Transport returns the cluster's node transport, nil when the cluster
+// runs fully in-process with no transport seam.
+func (c *Cluster) Transport() transport.Transport { return c.transport }
+
+// WireReads reports whether chunk reads between distinct nodes cross a
+// real wire — a transport is configured and it is remote (TCP). The query
+// layer gates its wire re-fetches on this: under the loopback transport or
+// no transport at all, cross-node reads stay pointer reads.
+func (c *Cluster) WireReads() bool {
+	return c.transport != nil && c.transport.Remote()
+}
+
+// FetchChunk pulls the named chunk from holder over the transport on
+// behalf of reader, returning the decoded copy — byte-identical to the
+// holder's resident chunk. Callers gate on WireReads.
+func (c *Cluster) FetchChunk(reader, holder partition.NodeID, ref array.ChunkRef) (*array.Chunk, error) {
+	ch, _, err := c.transport.FetchChunk(reader, holder, ref)
+	return ch, err
+}
+
+// recordAnnouncement stores a node's latest self-reported holdings.
+func (c *Cluster) recordAnnouncement(a transport.Announcement) {
+	c.annMu.Lock()
+	c.announcements[a.Node] = a
+	c.annMu.Unlock()
+}
+
+// Announcements returns the latest holdings announcement per node, as
+// received by the coordinator over the transport. Empty without a
+// transport (the in-process cluster reads state directly).
+func (c *Cluster) Announcements() map[partition.NodeID]transport.Announcement {
+	c.annMu.Lock()
+	defer c.annMu.Unlock()
+	out := make(map[partition.NodeID]transport.Announcement, len(c.announcements))
+	for id, a := range c.announcements {
+		out[id] = a
+	}
+	return out
+}
+
+// announceAll has every healthy non-coordinator node report its holdings
+// to the coordinator — called after topology-changing administration
+// (rebalance commit, node failure, node recovery). Best-effort: an
+// announcement lost to an injected fault is advisory state, not catalog
+// truth, so errors are not propagated. Caller holds admin exclusive.
+func (c *Cluster) announceAll() {
+	if c.transport == nil {
+		return
+	}
+	coord := c.Coordinator()
+	epoch := c.epoch.Load()
+	for _, id := range c.order {
+		node := c.nodes[id]
+		if id == coord || node.Health() == NodeDown {
+			continue
+		}
+		_ = c.transport.Announce(id, coord, transport.Announcement{
+			Node:         id,
+			Health:       int32(node.Health()),
+			Chunks:       int64(node.NumChunks()),
+			Bytes:        node.Bytes(),
+			Replicas:     int64(node.NumReplicas()),
+			ReplicaBytes: node.ReplicaBytes(),
+			Epoch:        epoch,
+		})
+	}
+}
+
+// pushWithRetry ships one receiver's batch over the transport, absorbing
+// transient faults — dropped connections, torn streams — with the same
+// attempt/backoff budget putWithRetry gives store faults. Delivery is
+// receiver-atomic, so re-pushing the whole batch after a transient failure
+// cannot double-apply. A non-transient error (the remote handler refused
+// the batch) returns immediately. The returned bytes are the cumulative
+// frame volume that actually crossed the wire, failed attempts included.
+func (c *Cluster) pushWithRetry(from, to partition.NodeID, kind transport.BatchKind, chunks []*array.Chunk) (int64, error) {
+	var wire int64
+	var err error
+	for attempt := 0; attempt < c.transferRetries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(c.transferBackoff << (attempt - 1))
+		}
+		var n int64
+		n, err = c.transport.PushChunks(from, to, kind, chunks)
+		wire += n
+		if err == nil {
+			return wire, nil
+		}
+		if !transport.IsTransient(err) {
+			return wire, err
+		}
+	}
+	return wire, err
+}
+
+// Close releases the cluster's transport endpoints (listeners, pooled
+// connections). A transportless cluster has nothing to release.
+func (c *Cluster) Close() error {
+	if c.transport == nil {
+		return nil
+	}
+	return c.transport.Close()
+}

@@ -16,6 +16,7 @@ import (
 	"repro/internal/partition"
 	"repro/internal/provision"
 	"repro/internal/query"
+	"repro/internal/transport"
 	"repro/internal/workload"
 )
 
@@ -59,6 +60,12 @@ type Config struct {
 	// O(what changed) instead of a per-call cluster walk. The arrays
 	// must be among the generator's schemas.
 	AdviseArrays []string
+	// Transport, when non-nil, routes inter-node data paths — ingest
+	// writes, rebalance batches, query-side chunk pulls — through the
+	// given node transport (cluster.Config.Transport): transport.Loopback
+	// for an in-process seam, transport.TCP for real sockets. Nil keeps
+	// the direct in-process paths.
+	Transport transport.Transport
 }
 
 // CycleStats records one workload cycle: the three phase durations, the
@@ -117,6 +124,7 @@ func NewEngine(gen workload.Generator, cfg Config) (*Engine, error) {
 		Cost:              cfg.Cost,
 		Parallelism:       cfg.Parallelism,
 		ReplicationFactor: cfg.ReplicationFactor,
+		Transport:         cfg.Transport,
 		Partitioner: func(initial []partition.NodeID) (partition.Partitioner, error) {
 			return partition.New(cfg.PartitionerKind, initial, geom, cfg.PartitionerOptions)
 		},
@@ -155,6 +163,10 @@ func NewEngine(gen workload.Generator, cfg Config) (*Engine, error) {
 // Cluster exposes the underlying database for inspection and ad-hoc
 // queries.
 func (e *Engine) Cluster() *cluster.Cluster { return e.cluster }
+
+// Close releases the engine's cluster transport endpoints (listeners,
+// pooled connections). A transportless engine has nothing to release.
+func (e *Engine) Close() error { return e.cluster.Close() }
 
 // Advisor returns the continuous co-access advisor attached via
 // Config.AdviseArrays, or nil when none was configured. Its graph follows

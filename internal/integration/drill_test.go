@@ -9,12 +9,20 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/partition"
 	"repro/internal/query"
+	"repro/internal/transport"
 	"repro/internal/workload"
 )
 
 // modisCluster loads the full MODIS workload onto a fresh cluster at the
 // given replication factor and returns it with the last cycle index.
 func modisCluster(t *testing.T, replication int) (*cluster.Cluster, int) {
+	t.Helper()
+	return modisClusterOver(t, replication, nil, 0)
+}
+
+// modisClusterOver is modisCluster with a node transport and a transfer
+// retry budget threaded through — nil/0 reproduce modisCluster exactly.
+func modisClusterOver(t *testing.T, replication int, tr transport.Transport, retries int) (*cluster.Cluster, int) {
 	t.Helper()
 	gen, err := workload.NewMODIS(workload.MODISConfig{Cycles: 3, BaseCells: 12})
 	if err != nil {
@@ -28,6 +36,8 @@ func modisCluster(t *testing.T, replication int) (*cluster.Cluster, int) {
 		InitialNodes:      4,
 		NodeCapacity:      total + 1,
 		ReplicationFactor: replication,
+		Transport:         tr,
+		TransferRetries:   retries,
 		Partitioner: func(initial []partition.NodeID) (partition.Partitioner, error) {
 			return partition.NewConsistentHash(initial, 16), nil
 		},
@@ -35,6 +45,7 @@ func modisCluster(t *testing.T, replication int) (*cluster.Cluster, int) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(func() { _ = c.Close() })
 	for _, s := range gen.Schemas() {
 		if err := c.DefineArray(s); err != nil {
 			t.Fatal(err)

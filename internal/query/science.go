@@ -278,23 +278,11 @@ func gatherSlab(c *cluster.Cluster, t *Tracker, s *array.Schema, timeChunk int64
 		entries := make([]slabEntry, 0, len(ts.Chunks))
 		for _, ch := range ts.Chunks {
 			w.IO(ts.Node, ch.ProjectedSizeBytes(scanAttrs))
-			pts := make([]point, 0, ch.Len())
-			for i := 0; i < ch.Len(); i++ {
-				var v float64
-				if valAttr >= 0 {
-					v = ch.AttrCols[valAttr].Float64(i)
-				}
-				pts = append(pts, point{
-					x: float64(ch.DimCols[xDim][i]),
-					y: float64(ch.DimCols[yDim][i]),
-					v: v,
-				})
-			}
 			entries = append(entries, slabEntry{
 				key:  ch.Key().Coord(),
 				cc:   ch.Coords,
 				home: ts.Node,
-				pts:  pts,
+				pts:  projectPoints(ch, xDim, yDim, valAttr),
 			})
 		}
 		return entries, nil
@@ -319,7 +307,12 @@ func gatherSlab(c *cluster.Cluster, t *Tracker, s *array.Schema, timeChunk int64
 	// Halo exchange: each chunk pulls boundary cells from its spatial
 	// neighbours in the same slab. The complete own map is read-only here,
 	// and each chunk's halo is an independent result, so the pulls
-	// parallelise per chunk.
+	// parallelise per chunk. With a remote transport underneath, a pull
+	// from another node's chunk actually crosses the wire: the neighbour
+	// chunk is re-fetched through the transport and its points projected
+	// from the decoded copy — byte-identical to the resident pointer, so
+	// results and charges are unchanged.
+	wireReads := c.WireReads()
 	halos, err := Exec(t, c.Parallelism(), slab, func(w *Tracker, e slabEntry) ([]point, error) {
 		var pulled []point
 		lo, hi := s.ChunkBounds(e.cc)
@@ -328,6 +321,13 @@ func gatherSlab(c *cluster.Cluster, t *Tracker, s *array.Schema, timeChunk int64
 			nPts, ok := own[nKey]
 			if !ok {
 				continue // neighbour chunk empty / absent
+			}
+			if wireReads && homes[nKey] != e.home {
+				wch, err := c.FetchChunk(e.home, homes[nKey], array.ChunkRef{Array: s.Name, Coords: ncc})
+				if err != nil {
+					return nil, fmt.Errorf("query: halo fetch %s[%v] from node %d: %w", s.Name, ncc, homes[nKey], err)
+				}
+				nPts = projectPoints(wch, xDim, yDim, valAttr)
 			}
 			var n int64
 			for _, p := range nPts {
@@ -352,6 +352,25 @@ func gatherSlab(c *cluster.Cluster, t *Tracker, s *array.Schema, timeChunk int64
 		}
 	}
 	return own, halo, homes, nil
+}
+
+// projectPoints projects a chunk's cells onto the two spatial dimensions,
+// loading the value column when valAttr >= 0 — the common projection both
+// the slab scan and a wire-side halo re-fetch apply.
+func projectPoints(ch *array.Chunk, xDim, yDim, valAttr int) []point {
+	pts := make([]point, 0, ch.Len())
+	for i := 0; i < ch.Len(); i++ {
+		var v float64
+		if valAttr >= 0 {
+			v = ch.AttrCols[valAttr].Float64(i)
+		}
+		pts = append(pts, point{
+			x: float64(ch.DimCols[xDim][i]),
+			y: float64(ch.DimCols[yDim][i]),
+			v: v,
+		})
+	}
+	return pts
 }
 
 // spatialNeighbors lists the slab-internal neighbour chunk coordinates

@@ -229,6 +229,7 @@ func JoinBands(c *cluster.Cluster, left, right, attr string, timeChunk int64) (R
 	if err != nil {
 		return Result{}, err
 	}
+	wireReads := c.WireReads()
 	parts, err := Exec(t, c.Parallelism(), targets, func(w *Tracker, ts NodeScan) ([]chunkJoin, error) {
 		out := make([]chunkJoin, 0, len(ts.Chunks))
 		for _, lch := range ts.Chunks {
@@ -247,15 +248,29 @@ func JoinBands(c *cluster.Cluster, left, right, attr string, timeChunk int64) (R
 			// Scan both sides where they live.
 			w.IO(ts.Node, lch.ProjectedSizeBytes(lAttr))
 			w.IO(rOwner, rch.ProjectedSizeBytes(rAttr))
-			// Collocate: ship the smaller side if they differ.
+			// Collocate: ship the smaller side if they differ. With a
+			// remote transport underneath, the shipped side actually
+			// crosses the wire — the receiving node fetches it through the
+			// transport and joins the decoded copy, which is byte-identical
+			// to the resident chunk, so results and charges are unchanged.
 			execNode := ts.Node
 			if rOwner != ts.Node {
 				lb, rb := lch.ProjectedSizeBytes(lAttr), rch.ProjectedSizeBytes(rAttr)
 				if lb < rb {
 					w.Net(lb)
 					execNode = rOwner
+					if wireReads {
+						if lch, err = c.FetchChunk(rOwner, ts.Node, lch.Ref()); err != nil {
+							return nil, fmt.Errorf("query: join ship %s to node %d: %w", rref, rOwner, err)
+						}
+					}
 				} else {
 					w.Net(rb)
+					if wireReads {
+						if rch, err = c.FetchChunk(ts.Node, rOwner, rref); err != nil {
+							return nil, fmt.Errorf("query: join ship %s to node %d: %w", rref, ts.Node, err)
+						}
+					}
 				}
 			}
 			w.CPU(execNode, int64(lch.Len()+rch.Len()))

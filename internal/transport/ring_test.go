@@ -1,0 +1,101 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// TestRingRoundTripAcrossGoroutines pins the streaming contract: a writer
+// pushing far more data than the ring holds and a concurrent reader must
+// reconstruct the byte stream exactly, with the ring's capacity bounding
+// how far the writer runs ahead.
+func TestRingRoundTripAcrossGoroutines(t *testing.T) {
+	r := NewRing(256)
+	want := make([]byte, 64<<10)
+	for i := range want {
+		want[i] = byte(i * 31)
+	}
+	done := make(chan error, 1)
+	go func() {
+		defer r.CloseWrite()
+		// Write in irregular slices to exercise wrap-point splitting.
+		for off := 0; off < len(want); {
+			n := 100 + off%157
+			if off+n > len(want) {
+				n = len(want) - off
+			}
+			if _, err := r.Write(want[off : off+n]); err != nil {
+				done <- err
+				return
+			}
+			off += n
+		}
+		done <- nil
+	}()
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if werr := <-done; werr != nil {
+		t.Fatalf("writer: %v", werr)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("ring corrupted the stream (%d bytes read, want %d)", len(got), len(want))
+	}
+}
+
+// TestRingCloseWriteDrainsThenEOF pins that CloseWrite lets the reader
+// drain buffered residue before seeing io.EOF.
+func TestRingCloseWriteDrainsThenEOF(t *testing.T) {
+	r := NewRing(64)
+	if _, err := r.Write([]byte("residue")); err != nil {
+		t.Fatal(err)
+	}
+	r.CloseWrite()
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatalf("ReadAll after CloseWrite: %v", err)
+	}
+	if string(got) != "residue" {
+		t.Fatalf("drained %q, want %q", got, "residue")
+	}
+	if _, err := r.Write([]byte("x")); err == nil {
+		t.Fatal("Write after CloseWrite succeeded")
+	}
+}
+
+// TestRingCloseWithErrorAbortsBothSides pins that a terminal error
+// surfaces immediately on the reader — even past buffered residue — and
+// fails blocked writers.
+func TestRingCloseWithErrorAbortsBothSides(t *testing.T) {
+	r := NewRing(8)
+	if _, err := r.Write([]byte("torn")); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("encode failed")
+	r.CloseWithError(boom)
+	if _, err := r.Read(make([]byte, 4)); !errors.Is(err, boom) {
+		t.Fatalf("Read after CloseWithError = %v, want %v", err, boom)
+	}
+	if _, err := r.Write([]byte("x")); !errors.Is(err, boom) {
+		t.Fatalf("Write after CloseWithError = %v, want %v", err, boom)
+	}
+}
+
+// TestRingCloseWithErrorUnblocksWaitingReader pins that a reader parked on
+// an empty ring is woken by CloseWithError rather than deadlocking.
+func TestRingCloseWithErrorUnblocksWaitingReader(t *testing.T) {
+	r := NewRing(8)
+	boom := errors.New("abort")
+	got := make(chan error, 1)
+	go func() {
+		_, err := r.Read(make([]byte, 1))
+		got <- err
+	}()
+	r.CloseWithError(boom)
+	if err := <-got; !errors.Is(err, boom) {
+		t.Fatalf("blocked Read = %v, want %v", err, boom)
+	}
+}

@@ -1,0 +1,750 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/array"
+	"repro/internal/partition"
+)
+
+// TCP wire protocol (little endian), one request per exchange, connections
+// reused across requests:
+//
+//	request:  u32 magic "ETRN", u8 op, i64 from
+//	op 1 (push):     u8 kind, then the "ABAT" batch framing cut into
+//	                 segments: (u32 segLen, segLen bytes)*, u32 0 end marker.
+//	op 2 (fetch):    u16 nameLen + array name, u8 nDims, nDims × i64 coords.
+//	op 3 (announce): i64 node, i32 health, i64 chunks, i64 bytes,
+//	                 i64 replicas, i64 replicaBytes, u64 epoch.
+//	response: u8 status (0 ok, 1 remote handler error, 2 corrupt stream),
+//	          then: fetch ok → u32 payloadLen + "ACNK" chunk payload;
+//	          any error → u32 msgLen + message text.
+//
+// Segmenting the push payload lets the sender stream the encode — total
+// batch length is never known up front — while the receiver still gets
+// exact framing to decode against.
+const (
+	tcpMagic = 0x4554524e // "ETRN"
+
+	opPush     = 1
+	opFetch    = 2
+	opAnnounce = 3
+
+	statusOK      = 0
+	statusRemote  = 1
+	statusCorrupt = 2
+)
+
+// TCPOptions tunes a TCP transport.
+type TCPOptions struct {
+	// ListenAddr is the address Serve listens on ("127.0.0.1:0" when
+	// empty — an OS-assigned loopback port per node).
+	ListenAddr string
+	// RingSize bounds the sender-side encode ring in bytes (default 64 KiB).
+	RingSize int
+	// SegmentSize caps one wire segment in bytes (default 32 KiB).
+	SegmentSize int
+}
+
+// TCP is the socket backend: every served node is a goroutine-owned
+// listener on a loopback port, every verb a framed exchange, and every
+// push a streaming encode (bounded by a Ring) into segment frames the
+// receiver decodes chunk-at-a-time. See the package comment for the
+// delivery and error model.
+type TCP struct {
+	opts TCPOptions
+
+	mu        sync.RWMutex
+	handlers  map[partition.NodeID]Handler
+	addrs     map[partition.NodeID]string // served and remote nodes
+	listeners map[partition.NodeID]net.Listener
+	lookup    func(name string) (*array.Schema, bool) // client-side decode fallback
+	closed    bool
+
+	// conns pools idle client connections per destination.
+	connMu sync.Mutex
+	conns  map[partition.NodeID][]net.Conn
+
+	// serverConns tracks accepted connections so Close can cut them.
+	srvMu     sync.Mutex
+	srvConns  map[net.Conn]bool
+	accepters sync.WaitGroup
+
+	pushes, pushedBytes, fetches, fetchBytes, announces atomic.Int64
+}
+
+// NewTCP returns a TCP transport with no endpoints yet.
+func NewTCP(opts TCPOptions) *TCP {
+	if opts.RingSize <= 0 {
+		opts.RingSize = 64 << 10
+	}
+	if opts.SegmentSize <= 0 {
+		opts.SegmentSize = 32 << 10
+	}
+	return &TCP{
+		opts:      opts,
+		handlers:  make(map[partition.NodeID]Handler),
+		addrs:     make(map[partition.NodeID]string),
+		listeners: make(map[partition.NodeID]net.Listener),
+		conns:     make(map[partition.NodeID][]net.Conn),
+		srvConns:  make(map[net.Conn]bool),
+	}
+}
+
+// SetSchemaLookup sets the schema resolver a handler-less client (a
+// process that only pushes and fetches, like cmd/elasticnode's probe mode)
+// decodes fetched payloads with. Served transports resolve through their
+// handlers and do not need it.
+func (t *TCP) SetSchemaLookup(lookup func(name string) (*array.Schema, bool)) {
+	t.mu.Lock()
+	t.lookup = lookup
+	t.mu.Unlock()
+}
+
+// AddRemote registers an externally hosted node (another process's Serve)
+// as a push/fetch target.
+func (t *TCP) AddRemote(id partition.NodeID, addr string) {
+	t.mu.Lock()
+	t.addrs[id] = addr
+	t.mu.Unlock()
+}
+
+// Serve implements Transport: listen, record the address, and own the
+// accept loop in a goroutine.
+func (t *TCP) Serve(id partition.NodeID, h Handler) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return fmt.Errorf("transport: tcp transport closed")
+	}
+	if _, dup := t.listeners[id]; dup {
+		return fmt.Errorf("transport: node %d already served", id)
+	}
+	addr := t.opts.ListenAddr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("transport: node %d listen: %w", id, err)
+	}
+	t.handlers[id] = h
+	t.addrs[id] = ln.Addr().String()
+	t.listeners[id] = ln
+	t.accepters.Add(1)
+	go t.acceptLoop(id, ln, h)
+	return nil
+}
+
+func (t *TCP) acceptLoop(id partition.NodeID, ln net.Listener, h Handler) {
+	defer t.accepters.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.srvMu.Lock()
+		t.srvConns[conn] = true
+		t.srvMu.Unlock()
+		go func() {
+			t.serveConn(conn, h)
+			t.srvMu.Lock()
+			delete(t.srvConns, conn)
+			t.srvMu.Unlock()
+			conn.Close()
+		}()
+	}
+}
+
+// serveConn handles one client connection's requests until it errors or
+// closes.
+func (t *TCP) serveConn(conn net.Conn, h Handler) {
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	for {
+		var magic uint32
+		if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
+			return
+		}
+		if magic != tcpMagic {
+			return
+		}
+		var op uint8
+		var from int64
+		if err := binary.Read(br, binary.LittleEndian, &op); err != nil {
+			return
+		}
+		if err := binary.Read(br, binary.LittleEndian, &from); err != nil {
+			return
+		}
+		var err error
+		switch op {
+		case opPush:
+			err = t.servePush(br, bw, partition.NodeID(from), h)
+		case opFetch:
+			err = t.serveFetch(br, bw, h)
+		case opAnnounce:
+			err = t.serveAnnounce(br, bw, partition.NodeID(from), h)
+		default:
+			return
+		}
+		if err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// writeStatus writes an error response (or the ok status when err is nil).
+func writeStatus(bw *bufio.Writer, err error) error {
+	if err == nil {
+		return bw.WriteByte(statusOK)
+	}
+	status := byte(statusRemote)
+	if errors.Is(err, ErrCorruptStream) {
+		status = statusCorrupt
+	}
+	if werr := bw.WriteByte(status); werr != nil {
+		return werr
+	}
+	msg := err.Error()
+	if werr := binary.Write(bw, binary.LittleEndian, uint32(len(msg))); werr != nil {
+		return werr
+	}
+	_, werr := bw.WriteString(msg)
+	return werr
+}
+
+// segmentReader presents a push's segment stream as one contiguous reader
+// for the batch decoder; the u32 0 end marker reads as io.EOF.
+type segmentReader struct {
+	r         *bufio.Reader
+	remaining int
+	done      bool
+}
+
+func (s *segmentReader) Read(p []byte) (int, error) {
+	for s.remaining == 0 {
+		if s.done {
+			return 0, io.EOF
+		}
+		var n uint32
+		if err := binary.Read(s.r, binary.LittleEndian, &n); err != nil {
+			return 0, fmt.Errorf("%w: reading segment header: %w", ErrCorruptStream, err)
+		}
+		if n == 0 {
+			s.done = true
+			return 0, io.EOF
+		}
+		s.remaining = int(n)
+	}
+	if len(p) > s.remaining {
+		p = p[:s.remaining]
+	}
+	n, err := s.r.Read(p)
+	s.remaining -= n
+	if err != nil && err != io.EOF {
+		err = fmt.Errorf("%w: %w", ErrCorruptStream, err)
+	} else if err == io.EOF {
+		err = fmt.Errorf("%w: stream ended inside a segment", ErrCorruptStream)
+	}
+	return n, err
+}
+
+// drain consumes the rest of the segment stream after a failed delivery,
+// so the connection can be reused for the error response. Best-effort: a
+// cut stream just errors out and the connection dies with it.
+func (s *segmentReader) drain() error {
+	buf := make([]byte, 4096)
+	for {
+		_, err := s.Read(buf)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+	}
+}
+
+func (t *TCP) servePush(br *bufio.Reader, bw *bufio.Writer, from partition.NodeID, h Handler) error {
+	var kind uint8
+	if err := binary.Read(br, binary.LittleEndian, &kind); err != nil {
+		return err
+	}
+	seg := &segmentReader{r: br}
+	dec, err := array.NewChunkBatchStream(h.Schema, seg)
+	if err != nil {
+		// The framing itself failed to parse: the stream is unusable, cut
+		// the connection (the client reports a transient failure).
+		return fmt.Errorf("%w: %w", ErrCorruptStream, err)
+	}
+	next := func() (*array.Chunk, error) {
+		ch, err := dec.Next()
+		if err != nil && err != io.EOF && !errors.Is(err, ErrCorruptStream) {
+			err = fmt.Errorf("%w: %w", ErrCorruptStream, err)
+		}
+		return ch, err
+	}
+	derr := h.Deliver(from, BatchKind(kind), dec.Len(), next)
+	if derr != nil {
+		// The handler unwound. Drain the stream's residue so the error
+		// response can travel back on a clean connection; if the stream is
+		// itself torn, give up on the connection.
+		if seg.drain() != nil {
+			return derr
+		}
+		return writeStatus(bw, derr)
+	}
+	// A complete delivery must be followed by the end marker.
+	if err := seg.drain(); err != nil {
+		return err
+	}
+	if !seg.done {
+		return fmt.Errorf("%w: missing end marker", ErrCorruptStream)
+	}
+	return writeStatus(bw, nil)
+}
+
+func (t *TCP) serveFetch(br *bufio.Reader, bw *bufio.Writer, h Handler) error {
+	var nameLen uint16
+	if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
+		return err
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return err
+	}
+	var nDims uint8
+	if err := binary.Read(br, binary.LittleEndian, &nDims); err != nil {
+		return err
+	}
+	coords := make(array.ChunkCoord, nDims)
+	for i := range coords {
+		if err := binary.Read(br, binary.LittleEndian, &coords[i]); err != nil {
+			return err
+		}
+	}
+	ref := array.ChunkRef{Array: string(name), Coords: coords}
+	ch, err := h.Fetch(ref)
+	if err != nil {
+		return writeStatus(bw, err)
+	}
+	payload, err := array.EncodeChunk(ch)
+	if err != nil {
+		return writeStatus(bw, err)
+	}
+	if err := bw.WriteByte(statusOK); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(payload))); err != nil {
+		return err
+	}
+	_, err = bw.Write(payload)
+	return err
+}
+
+func (t *TCP) serveAnnounce(br *bufio.Reader, bw *bufio.Writer, from partition.NodeID, h Handler) error {
+	var a Announcement
+	var node int64
+	fields := []interface{}{&node, &a.Health, &a.Chunks, &a.Bytes, &a.Replicas, &a.ReplicaBytes, &a.Epoch}
+	for _, f := range fields {
+		if err := binary.Read(br, binary.LittleEndian, f); err != nil {
+			return err
+		}
+	}
+	a.Node = partition.NodeID(node)
+	return writeStatus(bw, h.Announce(from, a))
+}
+
+// --- client side ----------------------------------------------------------
+
+func (t *TCP) addrOf(id partition.NodeID) (string, error) {
+	t.mu.RLock()
+	addr, ok := t.addrs[id]
+	t.mu.RUnlock()
+	if !ok {
+		return "", fmt.Errorf("transport: node %d is not served", id)
+	}
+	return addr, nil
+}
+
+// conn returns a pooled or fresh connection to the node.
+func (t *TCP) conn(id partition.NodeID) (net.Conn, error) {
+	t.connMu.Lock()
+	if pool := t.conns[id]; len(pool) > 0 {
+		conn := pool[len(pool)-1]
+		t.conns[id] = pool[:len(pool)-1]
+		t.connMu.Unlock()
+		return conn, nil
+	}
+	t.connMu.Unlock()
+	addr, err := t.addrOf(id)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, markTransient(fmt.Errorf("transport: dial node %d: %w", id, err))
+	}
+	return conn, nil
+}
+
+// release returns a healthy connection to the pool (bounded per node).
+func (t *TCP) release(id partition.NodeID, conn net.Conn) {
+	t.connMu.Lock()
+	defer t.connMu.Unlock()
+	if len(t.conns[id]) >= 4 {
+		conn.Close()
+		return
+	}
+	t.conns[id] = append(t.conns[id], conn)
+}
+
+// readResponse reads a status response; body handling for fetch happens at
+// the caller.
+func readResponse(br *bufio.Reader) (byte, string, error) {
+	status, err := br.ReadByte()
+	if err != nil {
+		return 0, "", markTransient(fmt.Errorf("transport: reading response: %w", err))
+	}
+	if status == statusOK {
+		return status, "", nil
+	}
+	var msgLen uint32
+	if err := binary.Read(br, binary.LittleEndian, &msgLen); err != nil {
+		return 0, "", markTransient(fmt.Errorf("transport: reading response: %w", err))
+	}
+	msg := make([]byte, msgLen)
+	if _, err := io.ReadFull(br, msg); err != nil {
+		return 0, "", markTransient(fmt.Errorf("transport: reading response: %w", err))
+	}
+	return status, string(msg), nil
+}
+
+// statusError converts a non-ok response into the client-side error.
+func statusError(status byte, msg string) error {
+	if status == statusCorrupt {
+		return markTransient(fmt.Errorf("%w: %s", ErrCorruptStream, msg))
+	}
+	return &RemoteError{Msg: msg}
+}
+
+// countingWriter counts bytes flowing into the socket.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
+
+// PushChunks implements Transport: stream the batch encode through a
+// bounded ring into segment frames on the socket, then wait for the
+// receiver's verdict. The returned bytes are what actually crossed the
+// wire (header, segments and markers included).
+func (t *TCP) PushChunks(from, to partition.NodeID, kind BatchKind, chunks []*array.Chunk) (int64, error) {
+	return t.push(from, to, kind, chunks, 0)
+}
+
+// pushTruncated is the FaultTransport partial-write hook: stream the batch
+// but cut the connection before the final trunc bytes (and the end marker)
+// are sent, so the receiver observes a torn stream mid-decode.
+func (t *TCP) pushTruncated(from, to partition.NodeID, kind BatchKind, chunks []*array.Chunk) (int64, error) {
+	wire, err := t.push(from, to, kind, chunks, 64)
+	if err == nil {
+		err = fmt.Errorf("transport: truncated push unexpectedly succeeded")
+	}
+	return wire, err
+}
+
+func (t *TCP) push(from, to partition.NodeID, kind BatchKind, chunks []*array.Chunk, trunc int64) (int64, error) {
+	conn, err := t.conn(to)
+	if err != nil {
+		return 0, err
+	}
+	cw := &countingWriter{w: conn}
+	bw := bufio.NewWriter(cw)
+	fail := func(err error) (int64, error) {
+		conn.Close()
+		return cw.n, markTransient(err)
+	}
+	_ = binary.Write(bw, binary.LittleEndian, uint32(tcpMagic))
+	_ = bw.WriteByte(opPush)
+	_ = binary.Write(bw, binary.LittleEndian, int64(from))
+	_ = bw.WriteByte(byte(kind))
+
+	// Encoder goroutine: chunk-at-a-time into the bounded ring. The main
+	// goroutine drains the ring into wire segments, so encode can never run
+	// further ahead of the socket than the ring's capacity.
+	ring := NewRing(t.opts.RingSize)
+	go func() {
+		enc, err := array.NewChunkBatchWriter(ring, len(chunks))
+		if err == nil {
+			for _, ch := range chunks {
+				if err = enc.Write(ch); err != nil {
+					break
+				}
+			}
+			if err == nil {
+				err = enc.Close()
+			}
+		}
+		ring.CloseWithError(err) // nil = clean EOF
+	}()
+
+	// Drain the ring into wire segments. A fault-injected partial write
+	// (trunc > 0) holds the in-flight segment back one step so the final
+	// one can be cut short — header promising bytes the connection never
+	// delivers — whatever the batch size.
+	var pending []byte
+	writeSegment := func(p []byte, cut bool) error {
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(p))); err != nil {
+			return err
+		}
+		if cut {
+			keep := len(p) - int(trunc)
+			if keep < 0 {
+				keep = 0
+			}
+			p = p[:keep]
+		}
+		_, err := bw.Write(p)
+		return err
+	}
+	seg := make([]byte, t.opts.SegmentSize)
+	for {
+		n, rerr := ring.Read(seg)
+		if n > 0 {
+			if trunc > 0 {
+				if pending != nil {
+					if err := writeSegment(pending, false); err != nil {
+						ring.CloseWithError(err)
+						return fail(err)
+					}
+				}
+				pending = append(pending[:0], seg[:n]...)
+			} else if err := writeSegment(seg[:n], false); err != nil {
+				ring.CloseWithError(err)
+				return fail(err)
+			}
+		}
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			return fail(rerr)
+		}
+	}
+	if trunc > 0 {
+		// Cut the final segment (or, for an empty batch, just omit the end
+		// marker) and kill the connection: the receiver sees a torn stream.
+		if pending != nil {
+			_ = writeSegment(pending, true)
+		}
+		_ = bw.Flush()
+		conn.Close()
+		return cw.n, markTransient(fmt.Errorf("%w: %w: connection cut %d bytes early", ErrInjected, ErrCorruptStream, trunc))
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(0)); err != nil {
+		return fail(err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fail(err)
+	}
+	br := bufio.NewReader(conn)
+	status, msg, err := readResponse(br)
+	if err != nil {
+		conn.Close()
+		return cw.n, err
+	}
+	if status != statusOK {
+		t.release(to, conn)
+		return cw.n, statusError(status, msg)
+	}
+	t.release(to, conn)
+	t.pushes.Add(1)
+	t.pushedBytes.Add(cw.n)
+	return cw.n, nil
+}
+
+// lookupFor resolves the schema registry the client side decodes fetched
+// payloads with: the from node's handler when served locally, any served
+// handler otherwise, the explicit SetSchemaLookup resolver as a last
+// resort.
+func (t *TCP) lookupFor(from partition.NodeID) (func(name string) (*array.Schema, bool), error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if h, ok := t.handlers[from]; ok {
+		return h.Schema, nil
+	}
+	for _, h := range t.handlers {
+		return h.Schema, nil
+	}
+	if t.lookup != nil {
+		return t.lookup, nil
+	}
+	return nil, fmt.Errorf("transport: no schema registry to decode fetches with (serve a node or SetSchemaLookup)")
+}
+
+// FetchChunk implements Transport: one framed request/response exchange,
+// the payload decoded from its "ACNK" wire form.
+func (t *TCP) FetchChunk(from, to partition.NodeID, ref array.ChunkRef) (*array.Chunk, int64, error) {
+	lookup, err := t.lookupFor(from)
+	if err != nil {
+		return nil, 0, err
+	}
+	s, ok := lookup(ref.Array)
+	if !ok {
+		return nil, 0, fmt.Errorf("transport: fetch of unknown array %q", ref.Array)
+	}
+	conn, err := t.conn(to)
+	if err != nil {
+		return nil, 0, err
+	}
+	cw := &countingWriter{w: conn}
+	bw := bufio.NewWriter(cw)
+	fail := func(err error) (*array.Chunk, int64, error) {
+		conn.Close()
+		return nil, cw.n, markTransient(err)
+	}
+	_ = binary.Write(bw, binary.LittleEndian, uint32(tcpMagic))
+	_ = bw.WriteByte(opFetch)
+	_ = binary.Write(bw, binary.LittleEndian, int64(from))
+	_ = binary.Write(bw, binary.LittleEndian, uint16(len(ref.Array)))
+	_, _ = bw.WriteString(ref.Array)
+	_ = bw.WriteByte(byte(len(ref.Coords)))
+	for _, c := range ref.Coords {
+		_ = binary.Write(bw, binary.LittleEndian, c)
+	}
+	if err := bw.Flush(); err != nil {
+		return fail(err)
+	}
+	br := bufio.NewReader(conn)
+	status, msg, err := readResponse(br)
+	if err != nil {
+		conn.Close()
+		return nil, cw.n, err
+	}
+	if status != statusOK {
+		t.release(to, conn)
+		return nil, cw.n, statusError(status, msg)
+	}
+	var payloadLen uint32
+	if err := binary.Read(br, binary.LittleEndian, &payloadLen); err != nil {
+		return fail(err)
+	}
+	payload := make([]byte, payloadLen)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return fail(err)
+	}
+	t.release(to, conn)
+	ch, err := array.DecodeChunk(s, payload)
+	if err != nil {
+		return nil, cw.n, fmt.Errorf("transport: fetched %s: %w", ref, err)
+	}
+	wire := cw.n + int64(payloadLen) + 5
+	t.fetches.Add(1)
+	t.fetchBytes.Add(wire)
+	return ch, wire, nil
+}
+
+// Announce implements Transport.
+func (t *TCP) Announce(from, to partition.NodeID, a Announcement) error {
+	conn, err := t.conn(to)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(conn)
+	fail := func(err error) error {
+		conn.Close()
+		return markTransient(err)
+	}
+	_ = binary.Write(bw, binary.LittleEndian, uint32(tcpMagic))
+	_ = bw.WriteByte(opAnnounce)
+	_ = binary.Write(bw, binary.LittleEndian, int64(from))
+	fields := []interface{}{int64(a.Node), a.Health, a.Chunks, a.Bytes, a.Replicas, a.ReplicaBytes, a.Epoch}
+	for _, f := range fields {
+		_ = binary.Write(bw, binary.LittleEndian, f)
+	}
+	if err := bw.Flush(); err != nil {
+		return fail(err)
+	}
+	br := bufio.NewReader(conn)
+	status, msg, err := readResponse(br)
+	if err != nil {
+		conn.Close()
+		return err
+	}
+	t.release(to, conn)
+	if status != statusOK {
+		return statusError(status, msg)
+	}
+	t.announces.Add(1)
+	return nil
+}
+
+// Remote implements Transport: payloads cross sockets.
+func (t *TCP) Remote() bool { return true }
+
+// Addr implements Transport.
+func (t *TCP) Addr(id partition.NodeID) string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.addrs[id]
+}
+
+// Stats implements Transport.
+func (t *TCP) Stats() Stats {
+	return Stats{
+		Pushes:      t.pushes.Load(),
+		PushedBytes: t.pushedBytes.Load(),
+		Fetches:     t.fetches.Load(),
+		FetchBytes:  t.fetchBytes.Load(),
+		Announces:   t.announces.Load(),
+	}
+}
+
+// Close implements Transport: stop the listeners, cut every connection,
+// wait for the accept loops.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	listeners := t.listeners
+	t.listeners = make(map[partition.NodeID]net.Listener)
+	t.mu.Unlock()
+	for _, ln := range listeners {
+		ln.Close()
+	}
+	t.connMu.Lock()
+	for _, pool := range t.conns {
+		for _, conn := range pool {
+			conn.Close()
+		}
+	}
+	t.conns = make(map[partition.NodeID][]net.Conn)
+	t.connMu.Unlock()
+	t.srvMu.Lock()
+	for conn := range t.srvConns {
+		conn.Close()
+	}
+	t.srvMu.Unlock()
+	t.accepters.Wait()
+	return nil
+}
