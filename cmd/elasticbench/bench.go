@@ -7,14 +7,17 @@ import (
 	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/advisor"
 	"repro/internal/array"
 	"repro/internal/benchfixture"
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/detector"
 	"repro/internal/partition"
 	"repro/internal/query"
+	"repro/internal/supervisor"
 	"repro/internal/transport"
 	"repro/internal/workload"
 )
@@ -74,6 +77,10 @@ func record(name string, r testing.BenchmarkResult) benchResult {
 // paper's 8-node testbed size. PR 9 adds the transport probes — the TCP
 // counterparts of insert_chunks, scaleout_chunks and recover_node — plus a
 // one-shot measured-vs-predicted wire calibration (see addTransportProbes).
+// PR 10 adds the self-healing probes: detect_to_recover_latency (links cut →
+// supervisor committed the recovery, no operator calls) and
+// supervised_failover_tcp (the full automatic failover + readmission cycle
+// on real sockets — compare degraded_failover_tcp, its manual counterpart).
 func measureBench() (benchReport, error) {
 	c, chunks, err := benchfixture.ClusterAndChunks()
 	if err != nil {
@@ -94,7 +101,7 @@ func measureBench() (benchReport, error) {
 	}
 
 	report := benchReport{
-		Suite:     "ingest + query + elasticity hot path (PR 9: node transport)",
+		Suite:     "ingest + query + elasticity hot path (PR 10: self-healing cluster)",
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
@@ -236,8 +243,107 @@ func measureBench() (benchReport, error) {
 	if err := addTransportProbes(&report, add); err != nil {
 		return benchReport{}, err
 	}
+	if err := addSupervisorProbes(&report, add); err != nil {
+		return benchReport{}, err
+	}
 
 	return report, nil
+}
+
+// addSupervisorProbes appends the PR 10 self-healing probes. Both run the
+// supervisor for real — wall clock, no manual health calls — with timings
+// scaled down so one measured cycle is tens of milliseconds:
+// detect_to_recover_latency is links-cut → EventRecovered on the in-process
+// loopback (pure detection + recovery machinery, no wire cost), and
+// supervised_failover_tcp is the full cycle — cut, recover, heal, readmit —
+// over real sockets, the automatic counterpart of degraded_failover_tcp.
+func addSupervisorProbes(report *benchReport, add func(string, func(b *testing.B))) error {
+	chs := benchfixture.Chunks(benchfixture.NumChunks, benchfixture.CellsPerChunk)
+	fastOpts := supervisor.Options{
+		HeartbeatInterval: 5 * time.Millisecond,
+		Detector: detector.Options{
+			SuspectAfter: 30 * time.Millisecond,
+			DownAfter:    60 * time.Millisecond,
+		},
+		Quarantine: 20 * time.Millisecond,
+	}
+	victimOf := func(c *cluster.Cluster) partition.NodeID {
+		for _, id := range c.Nodes() {
+			if id != c.Coordinator() && len(c.NodeChunks(id)) > 0 {
+				return id
+			}
+		}
+		return 0
+	}
+	var probeErr error
+	waitEvent := func(s *supervisor.Supervisor, kind supervisor.EventKind) bool {
+		stop := time.Now().Add(30 * time.Second)
+		for time.Now().Before(stop) {
+			if s.EventCount(kind) > 0 {
+				return true
+			}
+			time.Sleep(500 * time.Microsecond)
+		}
+		probeErr = fmt.Errorf("supervisor probe: no %v event within 30s", kind)
+		return false
+	}
+	supervised := func(b *testing.B, inner transport.Transport) (*cluster.Cluster, *transport.FaultTransport, *supervisor.Supervisor, partition.NodeID) {
+		b.Helper()
+		faults := transport.NewFaultTransport(inner)
+		fresh, err := benchfixture.TransportCluster(4, 2, faults)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := fresh.Insert(chs); err != nil {
+			b.Fatal(err)
+		}
+		sup, err := supervisor.New(fresh, fastOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sup.Start(); err != nil {
+			b.Fatal(err)
+		}
+		return fresh, faults, sup, victimOf(fresh)
+	}
+	add("detect_to_recover_latency", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			fresh, faults, sup, victim := supervised(b, transport.NewLoopback())
+			b.StartTimer()
+			faults.IsolateNode(victim, transport.LinkAll)
+			if !waitEvent(sup, supervisor.EventRecovered) {
+				return
+			}
+			b.StopTimer()
+			sup.Stop()
+			_ = fresh.Close()
+			b.StartTimer()
+		}
+	})
+	if probeErr != nil {
+		return probeErr
+	}
+	add("supervised_failover_tcp", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			fresh, faults, sup, victim := supervised(b, transport.NewTCP(transport.TCPOptions{}))
+			b.StartTimer()
+			faults.IsolateNode(victim, transport.LinkAll)
+			if !waitEvent(sup, supervisor.EventRecovered) {
+				return
+			}
+			faults.HealNode(victim)
+			if !waitEvent(sup, supervisor.EventReadmitted) {
+				return
+			}
+			b.StopTimer()
+			sup.Stop()
+			_ = fresh.Close()
+			b.StartTimer()
+		}
+	})
+	return probeErr
 }
 
 // addTransportProbes appends the PR 9 transport probes, each the TCP

@@ -11,6 +11,14 @@
 //	elasticnode -serve -node 1 -listen 127.0.0.1:7101
 //	elasticnode -serve -node 2 -listen 127.0.0.1:7102
 //
+// A served node can emit sequence-numbered heartbeats to a coordinator
+// endpoint so a failure detector on the other side can track its liveness
+// (kill the process and the heartbeats stop — exactly the signal the
+// supervisor's drill injects in-process):
+//
+//	elasticnode -serve -node 2 -listen 127.0.0.1:7102 \
+//	    -coord 1=127.0.0.1:7101 -heartbeat 100ms
+//
 // Probe them from a third process — push a deterministic MODIS-shaped
 // ingest batch split across the peers, fetch every chunk back, verify the
 // round-trip byte for byte, and report measured wire volume and throughput:
@@ -43,6 +51,8 @@ func main() {
 	peers := flag.String("peers", "", "probe targets: comma-separated id=host:port pairs")
 	wl := flag.String("workload", "MODIS", "schema source for both sides: MODIS or AIS")
 	nChunks := flag.Int("chunks", 32, "probe: chunks to push")
+	coord := flag.String("coord", "", "serve: coordinator endpoint (id=host:port) to heartbeat")
+	hbEvery := flag.Duration("heartbeat", 100*time.Millisecond, "serve: heartbeat period when -coord is set")
 	flag.Parse()
 
 	schemas, chunkGen, err := workloadSchemas(*wl)
@@ -52,7 +62,7 @@ func main() {
 	}
 	switch {
 	case *serve:
-		err = runServe(partition.NodeID(*nodeID), *listen, schemas)
+		err = runServe(partition.NodeID(*nodeID), *listen, schemas, *coord, *hbEvery)
 	case *peers != "":
 		err = runProbe(*peers, schemas, chunkGen, *nChunks)
 	default:
@@ -158,9 +168,16 @@ func (n *storeNode) Fetch(ref array.ChunkRef) (*array.Chunk, error) {
 }
 
 func (n *storeNode) Announce(from partition.NodeID, a transport.Announcement) error {
-	fmt.Printf("node %d: announcement from node %d: %d chunk(s), %d bytes, epoch %d\n",
-		n.id, from, a.Chunks, a.Bytes, a.Epoch)
+	fmt.Printf("node %d: announcement from node %d: %d chunk(s), %d bytes, epoch %d, seq %d\n",
+		n.id, from, a.Chunks, a.Bytes, a.Epoch, a.Seq)
 	return nil
+}
+
+// holdings snapshots the node's announced state for a heartbeat.
+func (n *storeNode) holdings() (chunks, bytes, replicas int64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return int64(len(n.chunks)), n.bytes, int64(len(n.replicas))
 }
 
 func (n *storeNode) Schema(name string) (*array.Schema, bool) {
@@ -168,18 +185,62 @@ func (n *storeNode) Schema(name string) (*array.Schema, bool) {
 	return s, ok
 }
 
-// runServe hosts one node endpoint until SIGINT/SIGTERM.
-func runServe(id partition.NodeID, listen string, schemas map[string]*array.Schema) error {
+// runServe hosts one node endpoint until SIGINT/SIGTERM, heartbeating the
+// coordinator when one is named.
+func runServe(id partition.NodeID, listen string, schemas map[string]*array.Schema, coord string, hbEvery time.Duration) error {
 	tr := transport.NewTCP(transport.TCPOptions{ListenAddr: listen})
 	defer tr.Close()
-	if err := tr.Serve(id, newStoreNode(id, schemas)); err != nil {
+	node := newStoreNode(id, schemas)
+	if err := tr.Serve(id, node); err != nil {
 		return err
 	}
 	fmt.Printf("node %d: serving on %s (%d schema(s) registered); interrupt to stop\n",
 		id, tr.Addr(id), len(schemas))
+	stopHB := make(chan struct{})
+	if coord != "" {
+		cid, addr, ok := strings.Cut(strings.TrimSpace(coord), "=")
+		if !ok {
+			return fmt.Errorf("bad -coord %q (want id=host:port)", coord)
+		}
+		cn, err := strconv.Atoi(cid)
+		if err != nil {
+			return fmt.Errorf("bad -coord id %q: %w", cid, err)
+		}
+		if hbEvery <= 0 {
+			return fmt.Errorf("-heartbeat must be positive, got %v", hbEvery)
+		}
+		coordID := partition.NodeID(cn)
+		tr.AddRemote(coordID, addr)
+		fmt.Printf("node %d: heartbeating coordinator node %d at %s every %v\n", id, coordID, addr, hbEvery)
+		go func() {
+			t := time.NewTicker(hbEvery)
+			defer t.Stop()
+			var seq uint64
+			for {
+				select {
+				case <-stopHB:
+					return
+				case <-t.C:
+					seq++
+					chunks, bytes, replicas := node.holdings()
+					// Best-effort, like the in-process heartbeat loop: a
+					// coordinator that is briefly unreachable costs nothing
+					// but the missed beat.
+					_ = tr.Announce(id, coordID, transport.Announcement{
+						Node:     id,
+						Chunks:   chunks,
+						Bytes:    bytes,
+						Replicas: replicas,
+						Seq:      seq,
+					})
+				}
+			}
+		}()
+	}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
+	close(stopHB)
 	fmt.Printf("node %d: shutting down\n", id)
 	return nil
 }

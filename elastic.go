@@ -78,12 +78,16 @@
 package elastic
 
 import (
+	"time"
+
 	"repro/internal/advisor"
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/detector"
 	"repro/internal/partition"
 	"repro/internal/provision"
 	"repro/internal/query"
+	"repro/internal/supervisor"
 	"repro/internal/transport"
 	"repro/internal/workload"
 )
@@ -155,8 +159,12 @@ type (
 	// latency, dropped connections, torn streams — the wire-level
 	// counterpart of FaultStore.
 	FaultTransport = transport.FaultTransport
-	// Announcement is a node's self-reported holdings summary, delivered
-	// to the coordinator over the transport.
+	// LinkMode selects which verbs a blocked link refuses (data,
+	// announce, or both) for FaultTransport partition injection.
+	LinkMode = transport.LinkMode
+	// Announcement is a node's self-reported holdings summary (with its
+	// heartbeat sequence number), delivered to the coordinator over the
+	// transport.
 	Announcement = transport.Announcement
 	// BatchKind labels what a pushed chunk batch is (ingest, rebalance,
 	// replica placement).
@@ -198,7 +206,79 @@ const (
 const (
 	NodeHealthy = cluster.NodeHealthy
 	NodeDown    = cluster.NodeDown
+	NodeSuspect = cluster.NodeSuspect
 )
+
+// Link-block modes for FaultTransport partition injection.
+const (
+	LinkData     = transport.LinkData
+	LinkAnnounce = transport.LinkAnnounce
+	LinkAll      = transport.LinkAll
+)
+
+// ErrStalePlan is ExecuteRebalance's rejection of a plan whose topology
+// epoch moved between planning and execution; match with errors.Is and
+// plan again.
+var ErrStalePlan = cluster.ErrStalePlan
+
+// Self-healing types: heartbeat failure detection plus supervised
+// auto-recovery (Config.Supervise).
+type (
+	// Supervisor subscribes to the failure detector's verdicts and runs
+	// FailNode → PlanRecover → ExecuteRebalance (and RecoverNode on
+	// return) automatically, with bounded retries, backoff + jitter and
+	// flap-damped readmission.
+	Supervisor = supervisor.Supervisor
+	// SupervisorOptions tunes a Supervisor (heartbeat/poll cadence, retry
+	// budget, quarantine windows, detector thresholds).
+	SupervisorOptions = supervisor.Options
+	// SupervisorEvent is one entry in the supervisor's decision log.
+	SupervisorEvent = supervisor.Event
+	// SupervisorEventKind classifies a supervisor decision.
+	SupervisorEventKind = supervisor.EventKind
+	// Detector is the coordinator-side failure detector: heartbeat
+	// inter-arrival timing to Healthy/Suspect/Down verdicts.
+	Detector = detector.Detector
+	// DetectorOptions tunes suspicion thresholds and the clock.
+	DetectorOptions = detector.Options
+	// DetectorState is a watched node's liveness verdict.
+	DetectorState = detector.State
+	// ManualClock is the injectable test clock that makes detector and
+	// supervisor behaviour fully deterministic.
+	ManualClock = detector.ManualClock
+)
+
+// Supervisor decision kinds, in lifecycle order.
+const (
+	EventSuspect        = supervisor.EventSuspect
+	EventSuspectCleared = supervisor.EventSuspectCleared
+	EventDown           = supervisor.EventDown
+	EventFailed         = supervisor.EventFailed
+	EventRecovered      = supervisor.EventRecovered
+	EventRetry          = supervisor.EventRetry
+	EventGaveUp         = supervisor.EventGaveUp
+	EventAlive          = supervisor.EventAlive
+	EventQuarantined    = supervisor.EventQuarantined
+	EventReadmitted     = supervisor.EventReadmitted
+)
+
+// Detector verdicts.
+const (
+	DetectorHealthy = detector.Healthy
+	DetectorSuspect = detector.Suspect
+	DetectorDown    = detector.Down
+)
+
+// NewSupervisor attaches a self-healing supervisor to a transport-backed
+// cluster (call Start to begin, Stop when done). Engines attach one via
+// Config.Supervise instead.
+func NewSupervisor(c *Cluster, opts SupervisorOptions) (*Supervisor, error) {
+	return supervisor.New(c, opts)
+}
+
+// NewManualClock returns a deterministic test clock pinned at start for
+// DetectorOptions.Clock.
+func NewManualClock(start time.Time) *ManualClock { return detector.NewManualClock(start) }
 
 // ErrInjected marks write faults injected by a FaultStore; match with
 // errors.Is.

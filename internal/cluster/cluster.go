@@ -126,9 +126,22 @@ type Cluster struct {
 	transport transport.Transport
 	// annMu guards announcements, the coordinator-side registry of each
 	// node's latest self-reported holdings (a leaf lock: announcements
-	// arrive from handler callbacks while admin is held).
+	// arrive from handler callbacks while admin is held), and annSink.
 	annMu         sync.Mutex
 	announcements map[partition.NodeID]transport.Announcement
+	// annSink, when set, observes every recorded announcement — the
+	// failure detector's heartbeat feed. Invoked outside annMu, but
+	// possibly from a handler callback while admin is held exclusively
+	// (announceAll over the loopback transport delivers synchronously),
+	// so a sink must never take cluster locks.
+	annSink func(transport.Announcement)
+	// liveNodes is a lock-free snapshot of the node set (*Node slice,
+	// coordinator first) for the heartbeat loop: HeartbeatNow must not
+	// take the admin lock, or a long administrative operation — a big
+	// rebalance, a recovery — would stall heartbeats and cascade false
+	// suspicion across the cluster. Rebuilt under admin exclusive
+	// wherever the node set grows (New, scale-out planning).
+	liveNodes atomic.Value // []*Node
 }
 
 // newStore builds the chunk store for a node per the cluster's storage
@@ -264,6 +277,7 @@ func New(cfg Config) (*Cluster, error) {
 		return nil, fmt.Errorf("cluster: building partitioner: %w", err)
 	}
 	c.part = p
+	c.publishLiveNodes()
 	for _, id := range initial {
 		if err := c.serveNode(id); err != nil {
 			_ = c.Close()
@@ -548,7 +562,13 @@ func (c *Cluster) Validate() error {
 	if n := c.owner.Len(); seen != n {
 		return fmt.Errorf("cluster: catalog has %d chunks, stores hold %d", n, seen)
 	}
-	return c.validateReplicas()
+	if err := c.validateReplicas(); err != nil {
+		return err
+	}
+	if sus := c.SuspectNodes(); len(sus) > 0 {
+		return fmt.Errorf("cluster: %d node(s) suspect (failure detector awaiting verdict), first node %d", len(sus), sus[0])
+	}
+	return nil
 }
 
 // validateReplicas audits the replica overlay. Caller holds admin

@@ -126,11 +126,17 @@ func (c *Cluster) RecoverNode(id partition.NodeID) (Duration, error) {
 	}
 	node.setHealth(NodeHealthy)
 	c.downCount.Add(-1)
-	// Re-replicate primaries the clamped degraded recovery left short of
-	// secondaries: with the node back, requiredSecondaries widens again,
-	// and the readmitted node is typically the rendezvous choice. Repairs
-	// already landed stand if a later copy fails — each is a strict
-	// improvement on its own.
+	// Restore the canonical replica spread now that the node is back.
+	// This repairs two deficits in one sorted pass: primaries the clamped
+	// degraded recovery left short of secondaries (requiredSecondaries
+	// widens again), and the rejoined node's own share — rendezvous
+	// hashing makes it the canonical holder of part of the secondary set,
+	// and without reassignment here it would hold none until some later
+	// rebalance. For each primary the canonical holder set is recomputed
+	// over the healthy nodes; missing copies are delivered, holders no
+	// longer canonical drop theirs, and the catalog takes the canonical
+	// set. Repairs already landed stand if a later copy fails — each is a
+	// strict improvement on its own.
 	if want := c.requiredSecondaries(); want > 0 {
 		healthy := c.healthyNodes()
 		var refs []array.ChunkRef
@@ -147,25 +153,46 @@ func (c *Cluster) RecoverNode(id partition.NodeID) (Duration, error) {
 			if !ok || c.nodes[owner].Health() == NodeDown {
 				continue
 			}
-			have := c.owner.Replicas(key)
-			if len(have) >= want {
-				continue
-			}
 			primary, _ := c.nodes[owner].get(ref)
 			if primary == nil {
 				continue // reserved by an outstanding ingest plan; nothing to copy yet
 			}
-			fill := partition.ReplicaNodes(key, owner, healthy, have, want-len(have))
-			if len(fill) == 0 {
-				continue
+			// held: recorded secondaries that actually hold a copy on a
+			// reachable node.
+			var held []partition.NodeID
+			for _, h := range c.owner.Replicas(key) {
+				if holder, ok := c.nodes[h]; ok && holder.Health() != NodeDown {
+					if _, ok := holder.Replica(ref); ok {
+						held = append(held, h)
+					}
+				}
 			}
-			if err := c.deliverReplicaCopies(owner, fill, primary); err != nil {
-				return 0, fmt.Errorf("cluster: RecoverNode(%d): re-replicating %s: %w", id, ref, err)
+			canonical := partition.ReplicaNodes(key, owner, healthy, nil, want)
+			var fill []partition.NodeID
+			for _, n := range canonical {
+				if !containsNodeID(held, n) {
+					fill = append(fill, n)
+				}
 			}
-			reps := append(append([]partition.NodeID(nil), have...), fill...)
-			sort.Slice(reps, func(i, j int) bool { return reps[i] < reps[j] })
-			c.owner.SetReplicas(key, reps)
-			backfill += primary.SizeBytes() * int64(len(fill))
+			if len(fill) > 0 {
+				if err := c.deliverReplicaCopies(owner, fill, primary); err != nil {
+					// The readmission did not commit: put the node back
+					// Down so a retry of RecoverNode is well-formed. The
+					// stale-drop/backfill work above is idempotent and the
+					// per-chunk repairs already landed each stand on their
+					// own, so the retry resumes where this pass stopped.
+					node.setHealth(NodeDown)
+					c.downCount.Add(1)
+					return 0, fmt.Errorf("cluster: RecoverNode(%d): re-replicating %s: %w", id, ref, err)
+				}
+				backfill += primary.SizeBytes() * int64(len(fill))
+			}
+			for _, h := range held {
+				if !containsNodeID(canonical, h) {
+					c.nodes[h].takeReplica(key)
+				}
+			}
+			c.owner.SetReplicas(key, canonical)
 		}
 	}
 	c.epoch.Add(1)
@@ -194,6 +221,66 @@ func (c *Cluster) deliverReplicaCopies(from partition.NodeID, dests []partition.
 		}
 	}
 	return nil
+}
+
+// MarkNodeSuspect records the failure detector's intermediate verdict: the
+// node's heartbeats went silent past the suspect threshold but the detector
+// is not yet confident it is dead. A Suspect node still serves reads and
+// accepts placements — the state is advisory, carries no epoch bump, and is
+// reversed by ClearNodeSuspect when heartbeats resume (or superseded by
+// FailNode when the detector's Down verdict lands). Idempotent on an
+// already-suspect node; suspecting the coordinator or a Down node is an
+// error.
+func (c *Cluster) MarkNodeSuspect(id partition.NodeID) error {
+	c.admin.Lock()
+	defer c.admin.Unlock()
+	node, ok := c.nodes[id]
+	if !ok {
+		return fmt.Errorf("cluster: MarkNodeSuspect(%d): unknown node", id)
+	}
+	if id == c.order[0] {
+		return fmt.Errorf("cluster: MarkNodeSuspect(%d): the coordinator cannot be suspected", id)
+	}
+	switch node.Health() {
+	case NodeSuspect:
+		return nil
+	case NodeDown:
+		return fmt.Errorf("cluster: MarkNodeSuspect(%d): node is down", id)
+	}
+	node.setHealth(NodeSuspect)
+	return nil
+}
+
+// ClearNodeSuspect lifts suspicion from a node whose heartbeats resumed.
+// Idempotent on a healthy node; clearing a Down node is an error (that is
+// RecoverNode's job).
+func (c *Cluster) ClearNodeSuspect(id partition.NodeID) error {
+	c.admin.Lock()
+	defer c.admin.Unlock()
+	node, ok := c.nodes[id]
+	if !ok {
+		return fmt.Errorf("cluster: ClearNodeSuspect(%d): unknown node", id)
+	}
+	switch node.Health() {
+	case NodeHealthy:
+		return nil
+	case NodeDown:
+		return fmt.Errorf("cluster: ClearNodeSuspect(%d): node is down, not suspect", id)
+	}
+	node.setHealth(NodeHealthy)
+	return nil
+}
+
+// SuspectNodes returns the IDs of nodes currently under suspicion,
+// ascending.
+func (c *Cluster) SuspectNodes() []partition.NodeID {
+	var out []partition.NodeID
+	for _, id := range c.order {
+		if c.nodes[id].Health() == NodeSuspect {
+			out = append(out, id)
+		}
+	}
+	return out
 }
 
 // Degraded reports whether any node is Down — one atomic load, the gate

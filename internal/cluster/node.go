@@ -20,11 +20,21 @@ const (
 	// queries fail chunk reads over to surviving replicas, and Validate
 	// reports any primary still catalogued to it as degraded.
 	NodeDown
+	// NodeSuspect: the failure detector has lost heartbeats past the
+	// suspect threshold but not yet the down threshold. A suspect node
+	// still serves and accepts placements — suspicion is advisory until
+	// the detector's Down verdict makes the supervisor call FailNode —
+	// but Validate reports it so drills can assert the intermediate
+	// state.
+	NodeSuspect
 )
 
 func (h NodeHealth) String() string {
-	if h == NodeDown {
+	switch h {
+	case NodeDown:
 		return "down"
+	case NodeSuspect:
+		return "suspect"
 	}
 	return "healthy"
 }
@@ -39,9 +49,15 @@ type Node struct {
 
 	store ChunkStore
 	// health is written only under the cluster's admin-exclusive lock
-	// (FailNode/RecoverNode); atomic so lock-free readers — the query
-	// layer's failover checks — observe it without the admin lock.
+	// (FailNode/RecoverNode/MarkNodeSuspect); atomic so lock-free
+	// readers — the query layer's failover checks — observe it without
+	// the admin lock.
 	health atomic.Int32
+	// hbSeq is the node's monotonic heartbeat sequence counter, stamped
+	// into every Announcement it emits so the coordinator's failure
+	// detector can tell fresh beats from stale redeliveries. Atomic: the
+	// heartbeat loop increments it lock-free.
+	hbSeq atomic.Uint64
 	// repMu guards replicas and repBytes. The map holds both fully
 	// replicated arrays (present on every node) and, at replication
 	// factor >= 2, the node's assigned secondary copies of primary

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -12,6 +13,14 @@ import (
 	"repro/internal/partition"
 	"repro/internal/transport"
 )
+
+// ErrStalePlan is returned by ExecuteRebalance when the topology epoch
+// moved between planning and execution — another rebalance committed, a
+// scale-out planned, or a node's health changed. The plan has been released
+// (no Discard needed); plan again against the current topology. Match with
+// errors.Is: the supervisor's retry loop treats it as a plan-again signal
+// rather than a transfer failure.
+var ErrStalePlan = errors.New("cluster: rebalance plan is stale (topology changed since planning); plan again")
 
 // RebalancePlan is a validated set of chunk relocations, ready to execute:
 // every move checked against the catalog and the stores up front, grouped
@@ -280,6 +289,7 @@ func (c *Cluster) planScaleOut(k int) (*RebalancePlan, error) {
 		return nil, fmt.Errorf("cluster: partitioner rejected scale-out: %w", err)
 	}
 	c.order = append(c.order, added...)
+	c.publishLiveNodes()
 	// The topology (and the partitioning table) changed: any outstanding
 	// ingest or rebalance plan is now stale, so advance the epoch.
 	// Deliberately after the fallible section — a rejected scale-out
@@ -679,7 +689,7 @@ func (c *Cluster) executeRebalance(plan *RebalancePlan) (Duration, error) {
 		// placement snapshot is stale. Release the plan so the caller can
 		// replan against the current catalog.
 		plan.Discard()
-		return 0, fmt.Errorf("cluster: rebalance plan is stale (topology changed since planning); plan again")
+		return 0, ErrStalePlan
 	}
 	if !plan.state.CompareAndSwap(planStatePlanned, planStateExecuted) {
 		return 0, fmt.Errorf("cluster: rebalance plan already executed or discarded")

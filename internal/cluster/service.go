@@ -126,10 +126,29 @@ func (c *Cluster) FetchChunk(reader, holder partition.NodeID, ref array.ChunkRef
 	return ch, err
 }
 
-// recordAnnouncement stores a node's latest self-reported holdings.
+// recordAnnouncement stores a node's latest self-reported holdings and
+// forwards it to the registered sink. The sink runs outside annMu but may
+// run while admin is held (loopback announceAll), so it must not take
+// cluster locks.
 func (c *Cluster) recordAnnouncement(a transport.Announcement) {
 	c.annMu.Lock()
 	c.announcements[a.Node] = a
+	sink := c.annSink
+	c.annMu.Unlock()
+	if sink != nil {
+		sink(a)
+	}
+}
+
+// SetAnnouncementSink registers fn to observe every announcement the
+// coordinator records — the failure detector's heartbeat feed. One sink at
+// a time; nil unregisters. The sink may be invoked from transport handler
+// goroutines and from announcement paths holding the admin lock, so it must
+// be fast and must never call back into cluster methods that take locks
+// (record the observation, hand it to another goroutine to act on).
+func (c *Cluster) SetAnnouncementSink(fn func(transport.Announcement)) {
+	c.annMu.Lock()
+	c.annSink = fn
 	c.annMu.Unlock()
 }
 
@@ -170,6 +189,7 @@ func (c *Cluster) announceAll() {
 			Replicas:     int64(node.NumReplicas()),
 			ReplicaBytes: node.ReplicaBytes(),
 			Epoch:        epoch,
+			Seq:          node.hbSeq.Add(1),
 		})
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"repro/internal/partition"
 	"repro/internal/provision"
 	"repro/internal/query"
+	"repro/internal/supervisor"
 	"repro/internal/transport"
 	"repro/internal/workload"
 )
@@ -66,6 +67,13 @@ type Config struct {
 	// for an in-process seam, transport.TCP for real sockets. Nil keeps
 	// the direct in-process paths.
 	Transport transport.Transport
+	// Supervise, when non-nil, attaches and starts a self-healing
+	// supervisor over the cluster: nodes heartbeat the coordinator, a
+	// failure detector turns silence into Suspect/Down verdicts, and the
+	// supervisor runs FailNode → PlanRecover → ExecuteRebalance (and
+	// RecoverNode on return) automatically. Requires Transport. The
+	// zero-value supervisor.Options{} selects all defaults.
+	Supervise *supervisor.Options
 }
 
 // CycleStats records one workload cycle: the three phase durations, the
@@ -98,6 +106,7 @@ type Engine struct {
 	cluster *cluster.Cluster
 	suite   func(*cluster.Cluster, int) (query.SuiteResult, error)
 	live    *advisor.Live
+	sup     *supervisor.Supervisor
 	cycle   int
 }
 
@@ -149,6 +158,15 @@ func NewEngine(gen workload.Generator, cfg Config) (*Engine, error) {
 			return nil, err
 		}
 	}
+	if cfg.Supervise != nil {
+		e.sup, err = supervisor.New(cl, *cfg.Supervise)
+		if err != nil {
+			return nil, err
+		}
+		if err := e.sup.Start(); err != nil {
+			return nil, err
+		}
+	}
 	switch gen.Name() {
 	case "MODIS":
 		e.suite = query.MODISSuite
@@ -164,9 +182,19 @@ func NewEngine(gen workload.Generator, cfg Config) (*Engine, error) {
 // queries.
 func (e *Engine) Cluster() *cluster.Cluster { return e.cluster }
 
-// Close releases the engine's cluster transport endpoints (listeners,
-// pooled connections). A transportless engine has nothing to release.
-func (e *Engine) Close() error { return e.cluster.Close() }
+// Close stops the supervisor (when one was attached) and releases the
+// engine's cluster transport endpoints (listeners, pooled connections). A
+// transportless engine has nothing to release.
+func (e *Engine) Close() error {
+	if e.sup != nil {
+		e.sup.Stop()
+	}
+	return e.cluster.Close()
+}
+
+// Supervisor returns the self-healing supervisor attached via
+// Config.Supervise, or nil when none was configured.
+func (e *Engine) Supervisor() *supervisor.Supervisor { return e.sup }
 
 // Advisor returns the continuous co-access advisor attached via
 // Config.AdviseArrays, or nil when none was configured. Its graph follows

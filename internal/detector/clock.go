@@ -1,0 +1,48 @@
+package detector
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts time for the detector so liveness logic composes with the
+// repo's simulated-time cost model and stays deterministic in tests: a
+// ManualClock advances only when told to, so "no heartbeat for 800ms" is a
+// statement a unit test can make exactly, with no sleeps.
+type Clock interface {
+	Now() time.Time
+}
+
+// SystemClock is the production clock: real wall time.
+type SystemClock struct{}
+
+// Now implements Clock.
+func (SystemClock) Now() time.Time { return time.Now() }
+
+// ManualClock is a test clock that moves only via Advance/Set. Safe for
+// concurrent use — a detector's Tick goroutine may read it while a test
+// advances it.
+type ManualClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+// NewManualClock returns a clock pinned at start.
+func NewManualClock(start time.Time) *ManualClock {
+	return &ManualClock{t: start}
+}
+
+// Now implements Clock.
+func (c *ManualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+// Advance moves the clock forward by d and returns the new time.
+func (c *ManualClock) Advance(d time.Duration) time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+	return c.t
+}

@@ -20,6 +20,14 @@ import (
 // IsTransient — this is exactly the fault class the cluster's
 // TransferRetries/TransferBackoff loop is meant to absorb.
 //
+// Beyond the one-shot and random knobs, links can be blocked persistently
+// and asymmetrically: BlockLink(a, b, mode) cuts a→b while b→a flows, and
+// the mode selects which verbs die — LinkAnnounce alone models a lossy
+// control path under which data still moves (heartbeats vanish, the node
+// looks dead, yet fetches succeed), LinkData alone the inverse, LinkAll a
+// full one-way partition. IsolateNode cuts every link touching a node in
+// both directions — the standard "kill" a failure-detection drill injects.
+//
 // All knobs are safe for concurrent use with the transport itself.
 type FaultTransport struct {
 	inner Transport
@@ -31,7 +39,24 @@ type FaultTransport struct {
 	dropRate  float64 // probability any push/fetch is dropped
 	rng       *rand.Rand
 	injected  int
+	blocked   map[linkKey]LinkMode          // persistent directed link blocks
+	isolated  map[partition.NodeID]LinkMode // nodes cut off in both directions
 }
+
+// LinkMode selects which verbs a blocked link refuses.
+type LinkMode uint8
+
+const (
+	// LinkData blocks chunk pushes and fetches (the data plane).
+	LinkData LinkMode = 1 << iota
+	// LinkAnnounce blocks heartbeat/holdings announcements (the control
+	// plane) while data still flows.
+	LinkAnnounce
+	// LinkAll blocks every verb on the link.
+	LinkAll = LinkData | LinkAnnounce
+)
+
+type linkKey struct{ from, to partition.NodeID }
 
 // truncatablePusher is the optional backend hook partial-write injection
 // uses; both built-in backends implement it.
@@ -80,6 +105,63 @@ func (f *FaultTransport) SetDropRate(rate float64, seed int64) {
 	f.dropRate = rate
 	f.rng = rand.New(rand.NewSource(seed))
 	f.mu.Unlock()
+}
+
+// BlockLink cuts the directed link from → to for the verbs mode selects,
+// until UnblockLink. The reverse direction is untouched, so an asymmetric
+// partition (A reaches B, B cannot reach A) is two independent calls.
+func (f *FaultTransport) BlockLink(from, to partition.NodeID, mode LinkMode) {
+	f.mu.Lock()
+	if f.blocked == nil {
+		f.blocked = make(map[linkKey]LinkMode)
+	}
+	f.blocked[linkKey{from, to}] |= mode
+	f.mu.Unlock()
+}
+
+// UnblockLink restores the directed link from → to.
+func (f *FaultTransport) UnblockLink(from, to partition.NodeID) {
+	f.mu.Lock()
+	delete(f.blocked, linkKey{from, to})
+	f.mu.Unlock()
+}
+
+// IsolateNode cuts every link touching the node, in both directions, for
+// the verbs mode selects — the injected equivalent of pulling its network
+// cable. HealNode reverses it.
+func (f *FaultTransport) IsolateNode(id partition.NodeID, mode LinkMode) {
+	f.mu.Lock()
+	if f.isolated == nil {
+		f.isolated = make(map[partition.NodeID]LinkMode)
+	}
+	f.isolated[id] |= mode
+	f.mu.Unlock()
+}
+
+// HealNode restores every link touching the node: the isolation and any
+// directed blocks naming it are lifted.
+func (f *FaultTransport) HealNode(id partition.NodeID) {
+	f.mu.Lock()
+	delete(f.isolated, id)
+	for k := range f.blocked {
+		if k.from == id || k.to == id {
+			delete(f.blocked, k)
+		}
+	}
+	f.mu.Unlock()
+}
+
+// linkFault reports whether the directed link is blocked for the verb,
+// counting an injected fault when it is.
+func (f *FaultTransport) linkFault(from, to partition.NodeID, verb LinkMode) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	cut := f.blocked[linkKey{from, to}]&verb != 0 ||
+		f.isolated[from]&verb != 0 || f.isolated[to]&verb != 0
+	if cut {
+		f.injected++
+	}
+	return cut
 }
 
 // Injected returns how many faults the transport has injected so far.
@@ -134,6 +216,9 @@ func (f *FaultTransport) Serve(id partition.NodeID, h Handler) error { return f.
 
 // PushChunks implements Transport, consulting the armed fault knobs first.
 func (f *FaultTransport) PushChunks(from, to partition.NodeID, kind BatchKind, chunks []*array.Chunk) (int64, error) {
+	if f.linkFault(from, to, LinkData) {
+		return 0, markTransient(fmt.Errorf("%w: link %d→%d blocked, push refused", ErrInjected, from, to))
+	}
 	switch f.pushFault() {
 	case 1:
 		return 0, markTransient(fmt.Errorf("%w: connection to node %d dropped before push", ErrInjected, to))
@@ -148,6 +233,9 @@ func (f *FaultTransport) PushChunks(from, to partition.NodeID, kind BatchKind, c
 
 // FetchChunk implements Transport, consulting the armed fault knobs first.
 func (f *FaultTransport) FetchChunk(from, to partition.NodeID, ref array.ChunkRef) (*array.Chunk, int64, error) {
+	if f.linkFault(from, to, LinkData) {
+		return nil, 0, markTransient(fmt.Errorf("%w: link %d→%d blocked, fetch refused", ErrInjected, from, to))
+	}
 	if f.flatFault() {
 		return nil, 0, markTransient(fmt.Errorf("%w: connection to node %d dropped before fetch", ErrInjected, to))
 	}
@@ -156,6 +244,9 @@ func (f *FaultTransport) FetchChunk(from, to partition.NodeID, ref array.ChunkRe
 
 // Announce implements Transport, consulting the armed fault knobs first.
 func (f *FaultTransport) Announce(from, to partition.NodeID, a Announcement) error {
+	if f.linkFault(from, to, LinkAnnounce) {
+		return markTransient(fmt.Errorf("%w: link %d→%d blocked, announce refused", ErrInjected, from, to))
+	}
 	if f.flatFault() {
 		return markTransient(fmt.Errorf("%w: connection to node %d dropped before announce", ErrInjected, to))
 	}

@@ -1,0 +1,237 @@
+package transport
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/array"
+)
+
+// TestBlockLinkAsymmetric pins the one-way partition: A→B cut while B→A
+// flows, on both backends and all three verbs.
+func TestBlockLinkAsymmetric(t *testing.T) {
+	eachBackend(t, func(t *testing.T, tr Transport, h1, h2 *memHandler) {
+		f := NewFaultTransport(tr)
+		s := testSchema("A")
+		ch := fillChunk(t, s, array.ChunkCoord{0, 0}, 3)
+		f.BlockLink(1, 2, LinkAll)
+
+		if _, err := f.PushChunks(1, 2, KindIngest, []*array.Chunk{ch}); err == nil {
+			t.Fatal("push over blocked link succeeded")
+		} else if !errors.Is(err, ErrInjected) || !IsTransient(err) {
+			t.Fatalf("blocked push error = %v, want transient ErrInjected", err)
+		}
+		if _, _, err := f.FetchChunk(1, 2, ch.Ref()); err == nil || !errors.Is(err, ErrInjected) {
+			t.Fatal("fetch over blocked link succeeded")
+		}
+		if err := f.Announce(1, 2, Announcement{Node: 1}); err == nil || !errors.Is(err, ErrInjected) {
+			t.Fatal("announce over blocked link succeeded")
+		}
+		// The reverse direction is untouched.
+		if _, err := f.PushChunks(2, 1, KindIngest, []*array.Chunk{ch}); err != nil {
+			t.Fatalf("reverse push: %v", err)
+		}
+		if err := f.Announce(2, 1, Announcement{Node: 2}); err != nil {
+			t.Fatalf("reverse announce: %v", err)
+		}
+		if f.Injected() != 3 {
+			t.Errorf("Injected = %d, want 3", f.Injected())
+		}
+
+		f.UnblockLink(1, 2)
+		if _, err := f.PushChunks(1, 2, KindIngest, []*array.Chunk{ch}); err != nil {
+			t.Fatalf("push after unblock: %v", err)
+		}
+	})
+}
+
+// TestBlockLinkAnnounceOnly pins heartbeat-only loss: control frames die
+// while data flows — the "node looks dead but serves" scenario detector
+// drills need — and the LinkData inverse.
+func TestBlockLinkAnnounceOnly(t *testing.T) {
+	eachBackend(t, func(t *testing.T, tr Transport, h1, h2 *memHandler) {
+		f := NewFaultTransport(tr)
+		s := testSchema("A")
+		ch := fillChunk(t, s, array.ChunkCoord{1, 0}, 4)
+
+		f.BlockLink(1, 2, LinkAnnounce)
+		if err := f.Announce(1, 2, Announcement{Node: 1}); err == nil {
+			t.Fatal("announce survived LinkAnnounce block")
+		}
+		if _, err := f.PushChunks(1, 2, KindIngest, []*array.Chunk{ch}); err != nil {
+			t.Fatalf("data push under announce-only loss: %v", err)
+		}
+		if _, _, err := f.FetchChunk(1, 2, ch.Ref()); err != nil {
+			t.Fatalf("data fetch under announce-only loss: %v", err)
+		}
+
+		f.UnblockLink(1, 2)
+		f.BlockLink(1, 2, LinkData)
+		if err := f.Announce(1, 2, Announcement{Node: 1}); err != nil {
+			t.Fatalf("announce under data-only loss: %v", err)
+		}
+		if _, err := f.PushChunks(1, 2, KindIngest, []*array.Chunk{fillChunk(t, s, array.ChunkCoord{2, 0}, 2)}); err == nil {
+			t.Fatal("data push survived LinkData block")
+		}
+		if _, _, err := f.FetchChunk(1, 2, ch.Ref()); err == nil {
+			t.Fatal("data fetch survived LinkData block")
+		}
+	})
+}
+
+// TestIsolateNode pins the full kill: every link touching the node dies in
+// both directions, and HealNode restores everything it cut.
+func TestIsolateNode(t *testing.T) {
+	eachBackend(t, func(t *testing.T, tr Transport, h1, h2 *memHandler) {
+		f := NewFaultTransport(tr)
+		s := testSchema("A")
+		ch := fillChunk(t, s, array.ChunkCoord{0, 1}, 3)
+
+		f.IsolateNode(2, LinkAll)
+		if _, err := f.PushChunks(1, 2, KindIngest, []*array.Chunk{ch}); err == nil {
+			t.Fatal("push to isolated node succeeded")
+		}
+		if err := f.Announce(2, 1, Announcement{Node: 2}); err == nil {
+			t.Fatal("announce from isolated node succeeded")
+		}
+		// A directed block armed before healing is lifted by HealNode too.
+		f.BlockLink(1, 2, LinkAnnounce)
+		f.HealNode(2)
+		if _, err := f.PushChunks(1, 2, KindIngest, []*array.Chunk{ch}); err != nil {
+			t.Fatalf("push after heal: %v", err)
+		}
+		if err := f.Announce(1, 2, Announcement{Node: 1}); err != nil {
+			t.Fatalf("announce after heal: %v", err)
+		}
+		if err := f.Announce(2, 1, Announcement{Node: 2}); err != nil {
+			t.Fatalf("reverse announce after heal: %v", err)
+		}
+	})
+}
+
+// TestIsolateNodeAnnounceOnlyKeepsData: isolating only the control plane
+// leaves the data plane up in both directions.
+func TestIsolateNodeAnnounceOnlyKeepsData(t *testing.T) {
+	eachBackend(t, func(t *testing.T, tr Transport, h1, h2 *memHandler) {
+		f := NewFaultTransport(tr)
+		s := testSchema("A")
+		ch := fillChunk(t, s, array.ChunkCoord{3, 0}, 2)
+		f.IsolateNode(2, LinkAnnounce)
+		if err := f.Announce(2, 1, Announcement{Node: 2}); err == nil {
+			t.Fatal("announce from announce-isolated node succeeded")
+		}
+		if _, err := f.PushChunks(1, 2, KindIngest, []*array.Chunk{ch}); err != nil {
+			t.Fatalf("push to announce-isolated node: %v", err)
+		}
+		if _, _, err := f.FetchChunk(1, 2, ch.Ref()); err != nil {
+			t.Fatalf("fetch from announce-isolated node: %v", err)
+		}
+	})
+}
+
+// TestTCPIOTimeout pins the per-RPC deadline: a server that accepts and
+// then goes silent must not hang the client — the armed read deadline
+// fails the call as a transient transport error.
+func TestTCPIOTimeout(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			// Swallow the request, never answer.
+			go func(c net.Conn) {
+				buf := make([]byte, 1<<10)
+				for {
+					if _, err := c.Read(buf); err != nil {
+						c.Close()
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+
+	tr := NewTCP(TCPOptions{IOTimeout: 150 * time.Millisecond})
+	defer tr.Close()
+	tr.AddRemote(9, ln.Addr().String())
+
+	start := time.Now()
+	err = tr.Announce(1, 9, Announcement{Node: 1})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("announce to a silent server succeeded")
+	}
+	if !IsTransient(err) {
+		t.Fatalf("deadline failure not transient: %v", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("deadline took %v, configured 150ms", elapsed)
+	}
+}
+
+// TestTCPPoolIdleEviction: a pooled connection older than the idle limit
+// is discarded and redialed instead of reused — the call still succeeds.
+func TestTCPPoolIdleEviction(t *testing.T) {
+	s := testSchema("A")
+	tr := NewTCP(TCPOptions{PoolIdleTimeout: time.Millisecond})
+	defer tr.Close()
+	h := newMemHandler(s)
+	if err := tr.Serve(2, h); err != nil {
+		t.Fatal(err)
+	}
+	ch := fillChunk(t, s, array.ChunkCoord{0, 0}, 3)
+	if _, err := tr.PushChunks(1, 2, KindIngest, []*array.Chunk{ch}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond) // let the pooled conn go stale
+	if _, err := tr.PushChunks(1, 2, KindIngest, []*array.Chunk{fillChunk(t, s, array.ChunkCoord{1, 0}, 3)}); err != nil {
+		t.Fatalf("push after idle eviction: %v", err)
+	}
+	if h.chunkCount() != 2 {
+		t.Fatalf("receiver holds %d chunks, want 2", h.chunkCount())
+	}
+}
+
+// TestTCPDialTimeout: dialing an unroutable endpoint fails within the
+// configured bound instead of hanging on the OS default.
+func TestTCPDialTimeout(t *testing.T) {
+	tr := NewTCP(TCPOptions{DialTimeout: 200 * time.Millisecond})
+	defer tr.Close()
+	// RFC 5737 TEST-NET-1: guaranteed unroutable.
+	tr.AddRemote(9, "192.0.2.1:9")
+	start := time.Now()
+	err := tr.Announce(1, 9, Announcement{Node: 1})
+	if err == nil {
+		t.Fatal("announce to unroutable endpoint succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("dial took %v with a 200ms timeout", elapsed)
+	}
+}
+
+// TestLinkModeReexportSanity keeps the mode algebra honest.
+func TestLinkModeAlgebra(t *testing.T) {
+	if LinkAll&LinkData == 0 || LinkAll&LinkAnnounce == 0 {
+		t.Fatal("LinkAll must cover both planes")
+	}
+	if LinkData&LinkAnnounce != 0 {
+		t.Fatal("LinkData and LinkAnnounce must be disjoint")
+	}
+	ft := NewFaultTransport(nil)
+	ft.BlockLink(1, 2, LinkData)
+	ft.BlockLink(1, 2, LinkAnnounce) // accumulate modes on one key
+	if !ft.linkFault(1, 2, LinkAnnounce) || !ft.linkFault(1, 2, LinkData) {
+		t.Fatal("accumulated block modes lost")
+	}
+	if ft.linkFault(2, 1, LinkAll) {
+		t.Fatal("reverse link blocked")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/array"
 	"repro/internal/partition"
@@ -22,7 +23,7 @@ import (
 //	                 segments: (u32 segLen, segLen bytes)*, u32 0 end marker.
 //	op 2 (fetch):    u16 nameLen + array name, u8 nDims, nDims × i64 coords.
 //	op 3 (announce): i64 node, i32 health, i64 chunks, i64 bytes,
-//	                 i64 replicas, i64 replicaBytes, u64 epoch.
+//	                 i64 replicas, i64 replicaBytes, u64 epoch, u64 seq.
 //	response: u8 status (0 ok, 1 remote handler error, 2 corrupt stream),
 //	          then: fetch ok → u32 payloadLen + "ACNK" chunk payload;
 //	          any error → u32 msgLen + message text.
@@ -51,6 +52,52 @@ type TCPOptions struct {
 	RingSize int
 	// SegmentSize caps one wire segment in bytes (default 32 KiB).
 	SegmentSize int
+	// DialTimeout bounds connection establishment (default 5s, < 0
+	// disables). A dead endpoint fails the dial instead of hanging it.
+	DialTimeout time.Duration
+	// IOTimeout bounds one whole RPC exchange — request write through
+	// response read — on both the client and the serving side (default
+	// 30s, < 0 disables). A peer that stops mid-exchange surfaces as a
+	// transient deadline error instead of a wedged goroutine, which is what
+	// makes failure detection trustworthy: silence means the node is gone,
+	// not that a connection is stuck. Idle pooled connections carry no
+	// deadline; it is re-armed per request.
+	IOTimeout time.Duration
+	// PoolIdleTimeout evicts pooled client connections idle longer than
+	// this on next acquire (default 60s, < 0 disables), so the pool never
+	// hands out a connection the far side has long abandoned.
+	PoolIdleTimeout time.Duration
+}
+
+// dialTimeout/ioTimeout/poolIdle resolve the option defaults (< 0 disables).
+func (o TCPOptions) dialTimeout() time.Duration {
+	if o.DialTimeout < 0 {
+		return 0
+	}
+	if o.DialTimeout == 0 {
+		return 5 * time.Second
+	}
+	return o.DialTimeout
+}
+
+func (o TCPOptions) ioTimeout() time.Duration {
+	if o.IOTimeout < 0 {
+		return 0
+	}
+	if o.IOTimeout == 0 {
+		return 30 * time.Second
+	}
+	return o.IOTimeout
+}
+
+func (o TCPOptions) poolIdle() time.Duration {
+	if o.PoolIdleTimeout < 0 {
+		return 0
+	}
+	if o.PoolIdleTimeout == 0 {
+		return 60 * time.Second
+	}
+	return o.PoolIdleTimeout
 }
 
 // TCP is the socket backend: every served node is a goroutine-owned
@@ -68,9 +115,10 @@ type TCP struct {
 	lookup    func(name string) (*array.Schema, bool) // client-side decode fallback
 	closed    bool
 
-	// conns pools idle client connections per destination.
+	// conns pools idle client connections per destination, newest last;
+	// entries idle past PoolIdleTimeout are evicted on acquire.
 	connMu sync.Mutex
-	conns  map[partition.NodeID][]net.Conn
+	conns  map[partition.NodeID][]pooledConn
 
 	// serverConns tracks accepted connections so Close can cut them.
 	srvMu     sync.Mutex
@@ -93,9 +141,15 @@ func NewTCP(opts TCPOptions) *TCP {
 		handlers:  make(map[partition.NodeID]Handler),
 		addrs:     make(map[partition.NodeID]string),
 		listeners: make(map[partition.NodeID]net.Listener),
-		conns:     make(map[partition.NodeID][]net.Conn),
+		conns:     make(map[partition.NodeID][]pooledConn),
 		srvConns:  make(map[net.Conn]bool),
 	}
+}
+
+// pooledConn is one idle client connection with its pool-entry time.
+type pooledConn struct {
+	c    net.Conn
+	idle time.Time
 }
 
 // SetSchemaLookup sets the schema resolver a handler-less client (a
@@ -169,6 +223,10 @@ func (t *TCP) serveConn(conn net.Conn, h Handler) {
 	br := bufio.NewReader(conn)
 	bw := bufio.NewWriter(conn)
 	for {
+		// No deadline while idle between requests — pooled client
+		// connections may legitimately sit quiet — but once a request's
+		// magic arrives, the rest of the exchange runs on the I/O budget so
+		// a client dying mid-request cannot wedge this goroutine.
 		var magic uint32
 		if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
 			return
@@ -176,6 +234,7 @@ func (t *TCP) serveConn(conn net.Conn, h Handler) {
 		if magic != tcpMagic {
 			return
 		}
+		clear := t.armDeadline(conn)
 		var op uint8
 		var from int64
 		if err := binary.Read(br, binary.LittleEndian, &op); err != nil {
@@ -201,6 +260,7 @@ func (t *TCP) serveConn(conn net.Conn, h Handler) {
 		if err := bw.Flush(); err != nil {
 			return
 		}
+		clear()
 	}
 }
 
@@ -356,7 +416,7 @@ func (t *TCP) serveFetch(br *bufio.Reader, bw *bufio.Writer, h Handler) error {
 func (t *TCP) serveAnnounce(br *bufio.Reader, bw *bufio.Writer, from partition.NodeID, h Handler) error {
 	var a Announcement
 	var node int64
-	fields := []interface{}{&node, &a.Health, &a.Chunks, &a.Bytes, &a.Replicas, &a.ReplicaBytes, &a.Epoch}
+	fields := []interface{}{&node, &a.Health, &a.Chunks, &a.Bytes, &a.Replicas, &a.ReplicaBytes, &a.Epoch, &a.Seq}
 	for _, f := range fields {
 		if err := binary.Read(br, binary.LittleEndian, f); err != nil {
 			return err
@@ -378,25 +438,48 @@ func (t *TCP) addrOf(id partition.NodeID) (string, error) {
 	return addr, nil
 }
 
-// conn returns a pooled or fresh connection to the node.
+// conn returns a pooled or fresh connection to the node. Pool entries that
+// sat idle past PoolIdleTimeout are dead-conn candidates — the far side may
+// have dropped them long ago — so they are closed and skipped rather than
+// handed out.
 func (t *TCP) conn(id partition.NodeID) (net.Conn, error) {
+	maxIdle := t.opts.poolIdle()
 	t.connMu.Lock()
-	if pool := t.conns[id]; len(pool) > 0 {
-		conn := pool[len(pool)-1]
-		t.conns[id] = pool[:len(pool)-1]
+	pool := t.conns[id]
+	for len(pool) > 0 {
+		entry := pool[len(pool)-1]
+		pool = pool[:len(pool)-1]
+		if maxIdle > 0 && time.Since(entry.idle) > maxIdle {
+			entry.c.Close()
+			continue
+		}
+		t.conns[id] = pool
 		t.connMu.Unlock()
-		return conn, nil
+		return entry.c, nil
 	}
+	t.conns[id] = pool
 	t.connMu.Unlock()
 	addr, err := t.addrOf(id)
 	if err != nil {
 		return nil, err
 	}
-	conn, err := net.Dial("tcp", addr)
+	conn, err := net.DialTimeout("tcp", addr, t.opts.dialTimeout())
 	if err != nil {
 		return nil, markTransient(fmt.Errorf("transport: dial node %d: %w", id, err))
 	}
 	return conn, nil
+}
+
+// armDeadline starts one RPC's I/O budget on the connection; the returned
+// func clears it once the exchange completes so a pooled connection does not
+// inherit a stale deadline. No-ops when IOTimeout is disabled.
+func (t *TCP) armDeadline(conn net.Conn) func() {
+	d := t.opts.ioTimeout()
+	if d <= 0 {
+		return func() {}
+	}
+	_ = conn.SetDeadline(time.Now().Add(d))
+	return func() { _ = conn.SetDeadline(time.Time{}) }
 }
 
 // release returns a healthy connection to the pool (bounded per node).
@@ -407,7 +490,7 @@ func (t *TCP) release(id partition.NodeID, conn net.Conn) {
 		conn.Close()
 		return
 	}
-	t.conns[id] = append(t.conns[id], conn)
+	t.conns[id] = append(t.conns[id], pooledConn{c: conn, idle: time.Now()})
 }
 
 // readResponse reads a status response; body handling for fetch happens at
@@ -475,6 +558,7 @@ func (t *TCP) push(from, to partition.NodeID, kind BatchKind, chunks []*array.Ch
 	if err != nil {
 		return 0, err
 	}
+	clear := t.armDeadline(conn)
 	cw := &countingWriter{w: conn}
 	bw := bufio.NewWriter(cw)
 	fail := func(err error) (int64, error) {
@@ -570,6 +654,7 @@ func (t *TCP) push(from, to partition.NodeID, kind BatchKind, chunks []*array.Ch
 		conn.Close()
 		return cw.n, err
 	}
+	clear()
 	if status != statusOK {
 		t.release(to, conn)
 		return cw.n, statusError(status, msg)
@@ -614,6 +699,7 @@ func (t *TCP) FetchChunk(from, to partition.NodeID, ref array.ChunkRef) (*array.
 	if err != nil {
 		return nil, 0, err
 	}
+	clear := t.armDeadline(conn)
 	cw := &countingWriter{w: conn}
 	bw := bufio.NewWriter(cw)
 	fail := func(err error) (*array.Chunk, int64, error) {
@@ -639,6 +725,7 @@ func (t *TCP) FetchChunk(from, to partition.NodeID, ref array.ChunkRef) (*array.
 		return nil, cw.n, err
 	}
 	if status != statusOK {
+		clear()
 		t.release(to, conn)
 		return nil, cw.n, statusError(status, msg)
 	}
@@ -650,6 +737,7 @@ func (t *TCP) FetchChunk(from, to partition.NodeID, ref array.ChunkRef) (*array.
 	if _, err := io.ReadFull(br, payload); err != nil {
 		return fail(err)
 	}
+	clear()
 	t.release(to, conn)
 	ch, err := array.DecodeChunk(s, payload)
 	if err != nil {
@@ -667,6 +755,7 @@ func (t *TCP) Announce(from, to partition.NodeID, a Announcement) error {
 	if err != nil {
 		return err
 	}
+	clear := t.armDeadline(conn)
 	bw := bufio.NewWriter(conn)
 	fail := func(err error) error {
 		conn.Close()
@@ -675,7 +764,7 @@ func (t *TCP) Announce(from, to partition.NodeID, a Announcement) error {
 	_ = binary.Write(bw, binary.LittleEndian, uint32(tcpMagic))
 	_ = bw.WriteByte(opAnnounce)
 	_ = binary.Write(bw, binary.LittleEndian, int64(from))
-	fields := []interface{}{int64(a.Node), a.Health, a.Chunks, a.Bytes, a.Replicas, a.ReplicaBytes, a.Epoch}
+	fields := []interface{}{int64(a.Node), a.Health, a.Chunks, a.Bytes, a.Replicas, a.ReplicaBytes, a.Epoch, a.Seq}
 	for _, f := range fields {
 		_ = binary.Write(bw, binary.LittleEndian, f)
 	}
@@ -688,6 +777,7 @@ func (t *TCP) Announce(from, to partition.NodeID, a Announcement) error {
 		conn.Close()
 		return err
 	}
+	clear()
 	t.release(to, conn)
 	if status != statusOK {
 		return statusError(status, msg)
@@ -734,11 +824,11 @@ func (t *TCP) Close() error {
 	}
 	t.connMu.Lock()
 	for _, pool := range t.conns {
-		for _, conn := range pool {
-			conn.Close()
+		for _, entry := range pool {
+			entry.c.Close()
 		}
 	}
-	t.conns = make(map[partition.NodeID][]net.Conn)
+	t.conns = make(map[partition.NodeID][]pooledConn)
 	t.connMu.Unlock()
 	t.srvMu.Lock()
 	for conn := range t.srvConns {

@@ -83,6 +83,10 @@ type Announcement struct {
 	Replicas     int64 // resident replica payloads
 	ReplicaBytes int64 // replica payload bytes
 	Epoch        uint64
+	// Seq is the sender's monotonic heartbeat sequence number. A failure
+	// detector keys liveness off it: a repeated or regressed Seq is a stale
+	// delivery, not a fresh sign of life.
+	Seq uint64
 }
 
 // Handler is the node-side service a Transport delivers to: the cluster
